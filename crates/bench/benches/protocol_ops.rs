@@ -1,0 +1,88 @@
+//! Criterion benchmarks of whole protocol operations on an unshaped
+//! in-process cluster (pure protocol + state-machine cost, no simulated
+//! network delays) and of the discrete-event simulator itself.
+
+use ajx_cluster::Cluster;
+use ajx_core::{ProtocolConfig, UpdateStrategy};
+use ajx_sim::{run, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_write_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_op_1KB");
+    group.throughput(Throughput::Bytes(1024));
+    for (label, strategy) in [
+        ("write_parallel", UpdateStrategy::Parallel),
+        ("write_serial", UpdateStrategy::Serial),
+        ("write_broadcast", UpdateStrategy::Broadcast),
+    ] {
+        let cfg = ProtocolConfig::new(3, 5, 1024).unwrap().with_strategy(strategy);
+        let cluster = Cluster::new(cfg, 1);
+        let mut i = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                i += 1;
+                cluster
+                    .client(0)
+                    .write_block(black_box(i % 32), vec![(i % 251) as u8; 1024])
+                    .unwrap();
+            });
+        });
+    }
+    let cfg = ProtocolConfig::new(3, 5, 1024).unwrap();
+    let cluster = Cluster::new(cfg, 1);
+    for lb in 0..32u64 {
+        cluster.client(0).write_block(lb, vec![1; 1024]).unwrap();
+    }
+    let mut i = 0u64;
+    group.bench_function("read", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(cluster.client(0).read_block(black_box(i % 32)).unwrap());
+        });
+    });
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_stripe_1KB");
+    for (k, n) in [(2usize, 4usize), (8, 10)] {
+        let cfg = ProtocolConfig::new(k, n, 1024).unwrap();
+        let cluster = Cluster::new(cfg, 1);
+        for i in 0..k as u64 {
+            cluster.client(0).write_block(i, vec![7; 1024]).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("recover", format!("{k}of{n}")), &k, |b, _| {
+            b.iter(|| {
+                cluster
+                    .client(0)
+                    .recover_stripe(black_box(ajx_storage::StripeId(0)))
+                    .unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    // Simulator speed: how fast virtual clusters run (events/sec matters
+    // for the Fig. 10 sweeps).
+    let mut group = c.benchmark_group("des_simulator");
+    group.sample_size(20);
+    for clients in [4usize, 16] {
+        let mut cfg = SimConfig::new(4, 6, clients);
+        cfg.threads_per_client = 8;
+        cfg.ops_per_thread = 25;
+        group.bench_with_input(
+            BenchmarkId::new("write_sim", clients),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| black_box(run(black_box(cfg))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_read, bench_recovery, bench_simulator);
+criterion_main!(benches);

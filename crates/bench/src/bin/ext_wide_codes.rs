@@ -1,0 +1,92 @@
+//! **Extension** — codes wider than GF(2⁸) permits, via GF(2¹⁶).
+//!
+//! The paper's arithmetic is "over some finite field, usually GF(2^h)"
+//! (§3.3) with h = 8 in its implementation, capping stripes at 256 blocks.
+//! This experiment measures what the jump to h = 16 costs (wider tables,
+//! worse cache behaviour) and what it buys (stripes of hundreds of nodes
+//! for the §7 "industrial-strength disk array" vision).
+
+use ajx_bench::{banner, measure_us, render_table};
+use ajx_erasure::{ReedSolomon, WideReedSolomon};
+
+const BLOCK: usize = 1024;
+
+fn main() {
+    banner(
+        "Extension — GF(2^16) wide codes: cost of going past n = 256",
+        "same systematic construction and delta-update contract; wider field, \
+         wider stripes",
+    );
+
+    // Kernel-level comparison at identical (k, n).
+    println!("\nper-1KB-block compute, GF(2^8) vs GF(2^16), same 8-of-10 code:");
+    let rs8 = ReedSolomon::new(8, 10).unwrap();
+    let rs16 = WideReedSolomon::new(8, 10).unwrap();
+    let data: Vec<Vec<u8>> = (0..8)
+        .map(|i| (0..BLOCK).map(|b| (b * 31 + i) as u8).collect())
+        .collect();
+    let new_blk: Vec<u8> = (0..BLOCK).map(|b| (b * 13) as u8).collect();
+
+    let enc8 = measure_us(|| {
+        std::hint::black_box(rs8.encode_stripe(&data).unwrap());
+    });
+    let enc16 = measure_us(|| {
+        std::hint::black_box(rs16.encode_stripe(&data).unwrap());
+    });
+    let d8 = measure_us(|| {
+        std::hint::black_box(rs8.delta(0, 0, &new_blk, &data[0]).unwrap());
+    });
+    let d16 = measure_us(|| {
+        std::hint::black_box(rs16.delta(0, 0, &new_blk, &data[0]).unwrap());
+    });
+    print!(
+        "{}",
+        render_table(
+            &["kernel", "GF(2^8) us", "GF(2^16) us", "ratio"],
+            &[
+                vec![
+                    "full encode".into(),
+                    format!("{enc8:.1}"),
+                    format!("{enc16:.1}"),
+                    format!("{:.1}x", enc16 / enc8),
+                ],
+                vec![
+                    "Delta".into(),
+                    format!("{d8:.2}"),
+                    format!("{d16:.2}"),
+                    format!("{:.1}x", d16 / d8),
+                ],
+            ]
+        )
+    );
+
+    // What only the wide field can do: stripes past 256 blocks.
+    println!("\nwide-only configurations (impossible over GF(2^8)):");
+    let mut rows = Vec::new();
+    for (k, n) in [(250usize, 260usize), (300, 310), (500, 520)] {
+        let rs = WideReedSolomon::new(k, n).unwrap();
+        let data: Vec<Vec<u8>> = (0..k).map(|i| vec![(i % 251) as u8; 256]).collect();
+        let t_enc = measure_us(|| {
+            std::hint::black_box(rs.encode_stripe(&data).unwrap());
+        });
+        let overhead = 100.0 * (n - k) as f64 / k as f64;
+        rows.push(vec![
+            format!("{k}-of-{n}"),
+            format!("{overhead:.1}%"),
+            format!("{}", n - k),
+            format!("{:.0}", t_enc),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &["code", "space overhead", "crash tolerance", "encode 256B-stripe (us)"],
+            &rows
+        )
+    );
+    println!(
+        "\nAt n = 520 a stripe tolerates 20 simultaneous adapter failures with\n\
+         4% space overhead — the limiting regime of the paper's efficiency\n\
+         argument. Common-case writes still cost only Delta + p adds."
+    );
+}

@@ -1,0 +1,48 @@
+//! **Fig. 10(b)** — simulated aggregate *read* throughput vs clients.
+//!
+//! Paper observation: "for reads, the throughput does not depend on k,
+//! only on n, because reads do not involve the redundant nodes" — codes
+//! with equal n must produce (near-)identical curves.
+
+use ajx_bench::{banner, render_table};
+use ajx_sim::{run, SimConfig, SimWorkload};
+
+fn main() {
+    banner(
+        "Fig. 10(b) — simulated aggregate read throughput vs clients (1 KB)",
+        "read throughput depends only on n, not k",
+    );
+    // Pairs sharing n with very different k.
+    let codes = [
+        (2usize, 8usize),
+        (6, 8),
+        (4, 16),
+        (14, 16),
+        (16, 32),
+        (24, 32),
+    ];
+    let clients = [1usize, 2, 4, 8, 16, 32, 64];
+
+    let mut rows = Vec::new();
+    for &c in &clients {
+        let mut row = vec![c.to_string()];
+        for &(k, n) in &codes {
+            let mut cfg = SimConfig::new(k, n, c);
+            cfg.threads_per_client = 16;
+            cfg.ops_per_thread = 60;
+            cfg.workload = SimWorkload::Read;
+            let r = run(&cfg);
+            row.push(format!("{:.1}", r.aggregate_mbps));
+        }
+        rows.push(row);
+    }
+    let header: Vec<String> = std::iter::once("clients".to_string())
+        .chain(codes.iter().map(|&(k, n)| format!("{k}-of-{n}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print!("{}", render_table(&header_refs, &rows));
+    println!(
+        "\nCheck: columns sharing n (2-of-8 vs 6-of-8; 4-of-16 vs 14-of-16; \
+         16-of-32 vs 24-of-32) should coincide."
+    );
+}

@@ -1,0 +1,35 @@
+//! **Fig. 10(c)** — simulated *maximum* write throughput (64 clients,
+//! deep pipelines) vs the redundancy n − k, for several k.
+
+use ajx_bench::{banner, render_table};
+use ajx_sim::{run, SimConfig, SimWorkload};
+
+fn main() {
+    banner(
+        "Fig. 10(c) — simulated max write throughput vs n - k (64 clients, 1 KB)",
+        "max write throughput decreases with n - k; higher k holds up better",
+    );
+    let ks = [4usize, 8, 16];
+    let ps = [1usize, 2, 4, 8];
+
+    let mut rows = Vec::new();
+    for &p in &ps {
+        let mut row = vec![p.to_string()];
+        for &k in &ks {
+            let n = k + p;
+            let mut cfg = SimConfig::new(k, n, 64);
+            cfg.threads_per_client = 16;
+            cfg.ops_per_thread = 25;
+            cfg.workload = SimWorkload::Write;
+            let r = run(&cfg);
+            row.push(format!("{:.1}", r.aggregate_mbps));
+        }
+        rows.push(row);
+    }
+    let header: Vec<String> = std::iter::once("n-k".to_string())
+        .chain(ks.iter().map(|k| format!("k={k}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print!("{}", render_table(&header_refs, &rows));
+    println!("\n(aggregate MB/s at saturation)");
+}

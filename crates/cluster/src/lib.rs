@@ -1,0 +1,39 @@
+//! In-process cluster harness — the reproduction's analogue of the paper's
+//! §5.1 testbed ("a small system with 8 hosts, where we varied the role of
+//! a host per experiment between client and storage node").
+//!
+//! A [`Cluster`] wires `n` storage nodes and any number of protocol clients
+//! over the `ajx-transport` network, and adds what experiments need:
+//!
+//! * fault injection — crash/remap storage nodes, kill clients mid-protocol
+//!   and propagate fail-stop detection (lock expiry);
+//! * ground-truth inspection — [`Cluster::stripe_is_consistent`] decodes a
+//!   stripe directly from node memory, bypassing the protocol;
+//! * workload driving — [`drive`] runs closed-loop threads against clients
+//!   and reports throughput (the paper's "number of threads ... limits the
+//!   number of outstanding calls").
+//!
+//! # Example
+//!
+//! ```
+//! use ajx_cluster::Cluster;
+//! use ajx_core::ProtocolConfig;
+//!
+//! # fn main() -> Result<(), ajx_core::ProtocolError> {
+//! let cfg = ProtocolConfig::new(2, 4, 64).expect("valid code");
+//! let cluster = Cluster::new(cfg, 2);
+//! cluster.client(0).write_block(5, vec![1; 64])?;
+//! assert_eq!(cluster.client(1).read_block(5)?, vec![1; 64]);
+//! assert!(cluster.stripe_is_consistent(ajx_storage::StripeId(2)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod harness;
+mod workload;
+
+pub use harness::Cluster;
+pub use workload::{drive, DriveReport, Workload};

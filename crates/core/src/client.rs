@@ -1,0 +1,724 @@
+//! The client side of the AJX protocol: `READ` (Fig. 4), `WRITE` (Fig. 5),
+//! garbage collection (Fig. 7), and the monitoring task (§3.10).
+//!
+//! All orchestration lives here, per the paper's "shift functionality to
+//! clients" principle (§3). A [`Client`] is cheap and thread-safe: `&self`
+//! methods may be called from many threads (the paper's "multiple threads,
+//! one for each outstanding RPC call").
+
+use crate::config::{ProtocolConfig, UpdateStrategy};
+use crate::error::ProtocolError;
+use crate::recovery::{recover, RecoveryOutcome};
+use crate::rpc::{call, call_many, expect_reply};
+use ajx_storage::{
+    AddStatus, CheckTidReply, ClientId, Epoch, LMode, NodeId, OpMode, Reply, Request, StripeId,
+    SwapReply, Tid,
+};
+use ajx_transport::ClientEndpoint;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Garbage-collection bookkeeping (Fig. 7's client-side `gc[j]`/`old[j]`
+/// lists, keyed additionally by stripe since one client writes many
+/// stripes).
+#[derive(Debug, Default)]
+struct GcLists {
+    /// Completed writes not yet moved to nodes' oldlists (phase 2 input).
+    pending: BTreeMap<(StripeId, usize), Vec<Tid>>,
+    /// Writes whose tids nodes moved to oldlist; next cycle drops them
+    /// (phase 1 input).
+    old: BTreeMap<(StripeId, usize), Vec<Tid>>,
+}
+
+/// Summary of one garbage-collection cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Tids moved from nodes' recentlists to oldlists (phase 2).
+    pub moved_to_old: usize,
+    /// Tids dropped from nodes' oldlists (phase 1).
+    pub dropped: usize,
+    /// RPCs that found a node busy (locked/INIT) and were skipped.
+    pub skipped_busy: usize,
+}
+
+/// Summary of one monitoring sweep (§3.10).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MonitorReport {
+    /// Stripes for which this sweep ran recovery.
+    pub recovered: Vec<StripeId>,
+    /// Stripes found healthy.
+    pub healthy: usize,
+}
+
+/// A protocol client bound to one [`ClientEndpoint`].
+///
+/// # Example
+///
+/// ```
+/// use ajx_core::{Client, ProtocolConfig};
+/// use ajx_transport::{Network, NetworkConfig};
+/// use ajx_storage::ClientId;
+///
+/// # fn main() -> Result<(), ajx_core::ProtocolError> {
+/// let cfg = ProtocolConfig::new(2, 4, 64).expect("valid code");
+/// let net = Network::new(NetworkConfig {
+///     n_nodes: cfg.n(),
+///     block_size: cfg.block_size,
+///     ..NetworkConfig::default()
+/// });
+/// let client = Client::new(net.client(ClientId(1)), cfg);
+///
+/// client.write_block(0, vec![42; 64])?;
+/// assert_eq!(client.read_block(0)?, vec![42; 64]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Client {
+    endpoint: ClientEndpoint,
+    cfg: ProtocolConfig,
+    seq: AtomicU64,
+    gc: Mutex<GcLists>,
+}
+
+impl Client {
+    /// Binds a client to its transport endpoint and protocol configuration.
+    pub fn new(endpoint: ClientEndpoint, cfg: ProtocolConfig) -> Self {
+        Client {
+            endpoint,
+            cfg,
+            seq: AtomicU64::new(0),
+            gc: Mutex::new(GcLists::default()),
+        }
+    }
+
+    /// This client's identity.
+    pub fn id(&self) -> ClientId {
+        self.endpoint.id()
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// The underlying transport endpoint (stats, fault injection).
+    pub fn endpoint(&self) -> &ClientEndpoint {
+        &self.endpoint
+    }
+
+    fn node_of(&self, stripe: StripeId, t: usize) -> NodeId {
+        NodeId(self.cfg.layout.node_for(stripe.0, t) as u32)
+    }
+
+    fn pause(&self) {
+        if !self.cfg.busy_retry_pause.is_zero() {
+            std::thread::sleep(self.cfg.busy_retry_pause);
+        }
+    }
+
+    /// `READ` of a logical block (Fig. 4): one round trip to the data node
+    /// in the failure-free case.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, [`ProtocolError::RetriesExhausted`] if another
+    /// client's recovery never completes, or
+    /// [`ProtocolError::Unrecoverable`] beyond the §4 failure bounds.
+    pub fn read_block(&self, logical_block: u64) -> Result<Vec<u8>, ProtocolError> {
+        let placement = self.cfg.layout.locate(logical_block);
+        self.read_stripe_index(StripeId(placement.stripe), placement.index)
+    }
+
+    /// `READ` addressed by (stripe, data-block index).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read_block`].
+    pub fn read_stripe_index(
+        &self,
+        stripe: StripeId,
+        i: usize,
+    ) -> Result<Vec<u8>, ProtocolError> {
+        assert!(i < self.cfg.k(), "data index {i} out of range");
+        let node = self.node_of(stripe, i);
+        for _ in 0..=self.cfg.busy_retry_limit {
+            let reply = call(&self.endpoint, &self.cfg, node, Request::Read { stripe })?;
+            let r = expect_reply!(reply, Reply::Read);
+            match r.block {
+                Some(v) => return Ok(v),
+                None => {
+                    if r.lmode.allows_recovery_start() {
+                        self.recover_stripe(stripe)?;
+                    } else {
+                        self.pause(); // recovery in progress elsewhere
+                    }
+                }
+            }
+        }
+        Err(ProtocolError::RetriesExhausted {
+            what: "READ",
+            attempts: self.cfg.busy_retry_limit + 1,
+        })
+    }
+
+    /// `WRITE` of a logical block (Fig. 5): in the failure-free case, one
+    /// `swap` round trip to the data node plus one `add` per redundant node
+    /// (batched per the configured [`UpdateStrategy`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadBlockSize`] for a wrong-sized value; otherwise
+    /// as [`Client::read_block`].
+    pub fn write_block(&self, logical_block: u64, value: Vec<u8>) -> Result<(), ProtocolError> {
+        let placement = self.cfg.layout.locate(logical_block);
+        self.write_stripe_index(StripeId(placement.stripe), placement.index, value)
+    }
+
+    /// `WRITE` addressed by (stripe, data-block index).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::write_block`].
+    pub fn write_stripe_index(
+        &self,
+        stripe: StripeId,
+        i: usize,
+        value: Vec<u8>,
+    ) -> Result<(), ProtocolError> {
+        assert!(i < self.cfg.k(), "data index {i} out of range");
+        if value.len() != self.cfg.block_size {
+            return Err(ProtocolError::BadBlockSize {
+                expected: self.cfg.block_size,
+                got: value.len(),
+            });
+        }
+        let k = self.cfg.k();
+        let n = self.cfg.n();
+        let full: BTreeSet<usize> = std::iter::once(i).chain(k..n).collect();
+
+        // Outer `repeat` (Fig. 5 lines 1 and 22): a fresh swap each attempt.
+        for _ in 0..self.cfg.write_attempt_limit {
+            let ntid = Tid::new(self.seq.fetch_add(1, Ordering::Relaxed), i, self.id());
+            let swap = self.swap_with_recovery(stripe, i, value.clone(), ntid)?;
+            let old = swap.block.expect("swap_with_recovery returns content");
+            let epoch = swap.epoch;
+            let mut otid = swap.otid;
+
+            let mut t: BTreeSet<usize> = (k..n).collect(); // nodes to update
+            let mut d: BTreeSet<usize> = BTreeSet::from([i]); // nodes done
+            let mut order_rounds = 0u32;
+
+            while !t.is_empty() && !d.is_empty() {
+                let results =
+                    self.send_adds(stripe, i, &value, &old, ntid, otid, epoch, &t)?;
+
+                let mut retry = BTreeSet::new();
+                let mut saw_order = false;
+                let mut need_recovery = false;
+                for (&j, r) in t.iter().zip(&results) {
+                    match r.status {
+                        AddStatus::Ok => {
+                            d.insert(j);
+                        }
+                        AddStatus::Order => {
+                            saw_order = true;
+                            retry.insert(j);
+                        }
+                        AddStatus::Unavail => {
+                            if !matches!(r.lmode, LMode::Unl | LMode::L0) {
+                                retry.insert(j);
+                            }
+                            // else: stale epoch or INIT node — drop from T;
+                            // the outer repeat will re-swap if needed.
+                        }
+                    }
+                    // Fig. 5 line 13: expired lock, crashed node, or
+                    // hopeless ordering ⇒ run recovery.
+                    if r.lmode == LMode::Exp
+                        || (r.opmode != OpMode::Norm && r.lmode == LMode::Unl)
+                        || (r.status == AddStatus::Order
+                            && order_rounds >= self.cfg.order_retry_limit)
+                    {
+                        need_recovery = true;
+                    }
+                }
+                if need_recovery {
+                    self.recover_stripe(stripe)?;
+                }
+                if saw_order {
+                    order_rounds += 1;
+                    // Fig. 5 lines 15-19: has the predecessor write been
+                    // GC'd (completed) or has a done node crashed?
+                    if let Some(ot) = otid {
+                        let checks: Vec<_> = d
+                            .iter()
+                            .map(|&j| {
+                                (
+                                    self.node_of(stripe, j),
+                                    Request::CheckTid {
+                                        stripe,
+                                        ntid,
+                                        otid: ot,
+                                    },
+                                )
+                            })
+                            .collect();
+                        let check_replies = call_many(&self.endpoint, &self.cfg, checks);
+                        let mut drop_from_d = Vec::new();
+                        for (&j, res) in d.iter().zip(check_replies) {
+                            match expect_reply!(res?, Reply::CheckTid) {
+                                CheckTidReply::Gc => otid = None,
+                                CheckTidReply::Init => drop_from_d.push(j),
+                                CheckTidReply::NoChange => {}
+                            }
+                        }
+                        for j in drop_from_d {
+                            d.remove(&j);
+                        }
+                    }
+                    self.pause(); // "p retries the add after a while" (§3.9)
+                }
+                t = retry;
+            }
+
+            if d == full {
+                let mut gc = self.gc.lock();
+                for &j in &d {
+                    gc.pending.entry((stripe, j)).or_default().push(ntid);
+                }
+                return Ok(());
+            }
+        }
+        Err(ProtocolError::RetriesExhausted {
+            what: "WRITE",
+            attempts: self.cfg.write_attempt_limit,
+        })
+    }
+
+    /// The `swap` loop of Fig. 5 lines 3-6: retry until the data node
+    /// accepts, running recovery when the block is unavailable.
+    fn swap_with_recovery(
+        &self,
+        stripe: StripeId,
+        i: usize,
+        value: Vec<u8>,
+        ntid: Tid,
+    ) -> Result<SwapReply, ProtocolError> {
+        let node = self.node_of(stripe, i);
+        for _ in 0..=self.cfg.busy_retry_limit {
+            let reply = call(
+                &self.endpoint,
+                &self.cfg,
+                node,
+                Request::Swap {
+                    stripe,
+                    value: value.clone(),
+                    ntid,
+                },
+            )?;
+            let r = expect_reply!(reply, Reply::Swap);
+            if r.block.is_some() {
+                return Ok(r);
+            }
+            if r.lmode.allows_recovery_start() {
+                self.recover_stripe(stripe)?;
+            } else {
+                self.pause();
+            }
+        }
+        Err(ProtocolError::RetriesExhausted {
+            what: "swap",
+            attempts: self.cfg.busy_retry_limit + 1,
+        })
+    }
+
+    /// Issues the redundant-block `add`s for the nodes in `targets`,
+    /// batched per the update strategy, returning one reply per target in
+    /// `targets`'s iteration order.
+    #[allow(clippy::too_many_arguments)]
+    fn send_adds(
+        &self,
+        stripe: StripeId,
+        i: usize,
+        value: &[u8],
+        old: &[u8],
+        ntid: Tid,
+        otid: Option<Tid>,
+        epoch: Epoch,
+        targets: &BTreeSet<usize>,
+    ) -> Result<Vec<ajx_storage::AddReply>, ProtocolError> {
+        let k = self.cfg.k();
+        let n = self.cfg.n();
+        let mut replies: BTreeMap<usize, ajx_storage::AddReply> = BTreeMap::new();
+
+        if self.cfg.strategy == UpdateStrategy::Broadcast {
+            // §3.11: multicast v − w once; nodes multiply by their own α.
+            let diff = self.cfg.code.broadcast_delta(value, old)?;
+            let reqs: Vec<_> = targets
+                .iter()
+                .map(|&j| {
+                    (
+                        self.node_of(stripe, j),
+                        Request::Add {
+                            stripe,
+                            delta: diff.clone(),
+                            ntid,
+                            otid,
+                            epoch,
+                            scale: Some((j - k, i)),
+                        },
+                    )
+                })
+                .collect();
+            let results = self.broadcast_with_remap(reqs);
+            for (&j, res) in targets.iter().zip(results) {
+                replies.insert(j, expect_reply!(res?, Reply::Add));
+            }
+        } else {
+            // The hybrid `for h / pfor j ∈ G_h ∩ M` of §4 (serial and
+            // parallel are its degenerate cases).
+            for round in self.cfg.strategy.rounds(k, n) {
+                let members: Vec<usize> =
+                    round.into_iter().filter(|j| targets.contains(j)).collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let calls: Vec<_> = members
+                    .iter()
+                    .map(|&j| {
+                        let delta = self
+                            .cfg
+                            .code
+                            .delta(j - k, i, value, old)
+                            .expect("block sizes validated");
+                        (
+                            self.node_of(stripe, j),
+                            Request::Add {
+                                stripe,
+                                delta,
+                                ntid,
+                                otid,
+                                epoch,
+                                scale: None,
+                            },
+                        )
+                    })
+                    .collect();
+                for (&j, res) in members.iter().zip(call_many(&self.endpoint, &self.cfg, calls))
+                {
+                    replies.insert(j, expect_reply!(res?, Reply::Add));
+                }
+            }
+        }
+        Ok(targets.iter().map(|j| replies[j]).collect())
+    }
+
+    fn broadcast_with_remap(
+        &self,
+        reqs: Vec<(NodeId, Request)>,
+    ) -> Vec<Result<Reply, ProtocolError>> {
+        let retry = reqs.clone();
+        self.endpoint
+            .broadcast(reqs)
+            .into_iter()
+            .zip(retry)
+            .map(|(res, (node, req))| match res {
+                Ok(r) => Ok(r),
+                Err(ajx_transport::RpcError::NodeDown(_)) if self.cfg.auto_remap => {
+                    self.endpoint.network().remap_node(node, self.cfg.remap_garbage);
+                    self.endpoint.call(node, req).map_err(ProtocolError::from)
+                }
+                Err(e) => Err(ProtocolError::from(e)),
+            })
+            .collect()
+    }
+
+    /// Runs recovery for `stripe` until it completes — either by this
+    /// client or by the client we lost the race to (Fig. 4 line 4 /
+    /// Fig. 5's `start_recovery`).
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::recovery`] plus [`ProtocolError::RetriesExhausted`] when
+    /// losing the race repeatedly without the stripe becoming readable.
+    pub fn recover_stripe(&self, stripe: StripeId) -> Result<(), ProtocolError> {
+        for _ in 0..=self.cfg.busy_retry_limit {
+            match recover(&self.endpoint, &self.cfg, self.id(), stripe)? {
+                RecoveryOutcome::Completed => return Ok(()),
+                RecoveryOutcome::LostRace => {
+                    self.pause();
+                    // If the other client finished, the stripe is usable
+                    // again; probe cheaply via the data node's lock mode.
+                    let reply = call(
+                        &self.endpoint,
+                        &self.cfg,
+                        self.node_of(stripe, 0),
+                        Request::Probe { stripe },
+                    )?;
+                    let (opmode, _) = match reply {
+                        Reply::Probe {
+                            opmode,
+                            oldest_pending_age,
+                        } => (opmode, oldest_pending_age),
+                        other => unreachable!("probe answered {other:?}"),
+                    };
+                    if opmode == OpMode::Norm {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        Err(ProtocolError::RetriesExhausted {
+            what: "recovery",
+            attempts: self.cfg.busy_retry_limit + 1,
+        })
+    }
+
+    /// One garbage-collection cycle (Fig. 7's `collect_garbage` task).
+    ///
+    /// Phase 1 drops previously-moved tids from nodes' oldlists; phase 2
+    /// moves this client's completed writes from recentlists to oldlists.
+    /// Nodes that are busy (locked or INIT) are skipped and retried next
+    /// cycle, matching the paper's `repeat ... until OK` with bounded
+    /// patience.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; a busy node is not an error.
+    pub fn collect_garbage(&self) -> Result<GcReport, ProtocolError> {
+        let mut report = GcReport::default();
+        let (old, pending) = {
+            let mut gc = self.gc.lock();
+            (std::mem::take(&mut gc.old), std::mem::take(&mut gc.pending))
+        };
+
+        // Phase 1: discard from oldlists.
+        let mut old_retry = BTreeMap::new();
+        for ((stripe, j), tids) in old {
+            let node = self.node_of(stripe, j);
+            let reply = call(
+                &self.endpoint,
+                &self.cfg,
+                node,
+                Request::GcOld {
+                    stripe,
+                    tids: tids.clone(),
+                },
+            )?;
+            if expect_reply!(reply, Reply::Gc) {
+                report.dropped += tids.len();
+            } else {
+                report.skipped_busy += 1;
+                old_retry.insert((stripe, j), tids);
+            }
+        }
+
+        // Phase 2: move recent → old.
+        let mut moved = BTreeMap::new();
+        let mut pending_retry = BTreeMap::new();
+        for ((stripe, j), tids) in pending {
+            let node = self.node_of(stripe, j);
+            let reply = call(
+                &self.endpoint,
+                &self.cfg,
+                node,
+                Request::GcRecent {
+                    stripe,
+                    tids: tids.clone(),
+                },
+            )?;
+            if expect_reply!(reply, Reply::Gc) {
+                report.moved_to_old += tids.len();
+                moved.insert((stripe, j), tids);
+            } else {
+                // The move did not happen; retry phase 2 next cycle.
+                report.skipped_busy += 1;
+                pending_retry.insert((stripe, j), tids);
+            }
+        }
+
+        let mut gc = self.gc.lock();
+        for (key, tids) in moved {
+            gc.old.entry(key).or_default().extend(tids);
+        }
+        for (key, tids) in old_retry {
+            gc.old.entry(key).or_default().extend(tids);
+        }
+        for (key, tids) in pending_retry {
+            gc.pending.entry(key).or_default().extend(tids);
+        }
+        Ok(report)
+    }
+
+    /// The monitoring sweep of §3.10: probes every node of the given
+    /// stripes and triggers recovery where it finds INIT nodes or stale
+    /// unfinished writes older than `age_threshold` node ticks.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or recovery errors for stripes beyond repair.
+    pub fn monitor(
+        &self,
+        stripes: &[StripeId],
+        age_threshold: u64,
+    ) -> Result<MonitorReport, ProtocolError> {
+        let mut report = MonitorReport::default();
+        for &stripe in stripes {
+            let probes: Vec<_> = (0..self.cfg.n())
+                .map(|t| (self.node_of(stripe, t), Request::Probe { stripe }))
+                .collect();
+            let mut needs_recovery = false;
+            for res in call_many(&self.endpoint, &self.cfg, probes) {
+                match res? {
+                    Reply::Probe {
+                        opmode,
+                        oldest_pending_age,
+                    } => {
+                        if opmode == OpMode::Init
+                            || oldest_pending_age.is_some_and(|a| a >= age_threshold)
+                        {
+                            needs_recovery = true;
+                        }
+                    }
+                    other => unreachable!("probe answered {other:?}"),
+                }
+            }
+            if needs_recovery {
+                self.recover_stripe(stripe)?;
+                report.recovered.push(stripe);
+            } else {
+                report.healthy += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Number of tids awaiting garbage collection (both phases) — §6.5's
+    /// client-side bookkeeping.
+    pub fn gc_backlog(&self) -> usize {
+        let gc = self.gc.lock();
+        gc.pending.values().map(Vec::len).sum::<usize>()
+            + gc.old.values().map(Vec::len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajx_transport::{Network, NetworkConfig};
+
+    fn client(k: usize, n: usize) -> Client {
+        let cfg = ProtocolConfig::new(k, n, 16).unwrap();
+        let net = Network::new(NetworkConfig {
+            n_nodes: n,
+            block_size: 16,
+            ..NetworkConfig::default()
+        });
+        Client::new(net.client(ClientId(1)), cfg)
+    }
+
+    #[test]
+    fn accessors_expose_identity_and_config() {
+        let c = client(2, 4);
+        assert_eq!(c.id(), ClientId(1));
+        assert_eq!(c.config().k(), 2);
+        assert_eq!(c.endpoint().id(), ClientId(1));
+    }
+
+    #[test]
+    fn gc_backlog_grows_with_writes_and_drains_with_cycles() {
+        let c = client(2, 4);
+        assert_eq!(c.gc_backlog(), 0);
+        c.write_block(0, vec![1; 16]).unwrap();
+        c.write_block(1, vec![2; 16]).unwrap();
+        // Each write records its tid for the data node + 2 redundant nodes.
+        assert_eq!(c.gc_backlog(), 6);
+        c.collect_garbage().unwrap();
+        assert_eq!(c.gc_backlog(), 6, "phase 2 done; tids now await phase 1");
+        c.collect_garbage().unwrap();
+        assert_eq!(c.gc_backlog(), 0);
+    }
+
+    #[test]
+    fn monitor_reports_healthy_stripes_without_recovery() {
+        let c = client(2, 4);
+        c.write_block(0, vec![1; 16]).unwrap();
+        // Very generous age threshold: the just-written tid is not stale.
+        let report = c.monitor(&[StripeId(0), StripeId(5)], u64::MAX).unwrap();
+        assert!(report.recovered.is_empty());
+        assert_eq!(report.healthy, 2);
+    }
+
+    #[test]
+    fn monitor_on_no_stripes_is_empty() {
+        let c = client(2, 4);
+        let report = c.monitor(&[], 1).unwrap();
+        assert_eq!(report, MonitorReport::default());
+    }
+
+    #[test]
+    fn bad_block_size_rejected_before_any_rpc() {
+        let c = client(2, 4);
+        let before = c.endpoint().stats().snapshot();
+        let err = c.write_block(0, vec![1; 15]).unwrap_err();
+        assert!(matches!(err, ProtocolError::BadBlockSize { .. }));
+        assert_eq!(
+            c.endpoint().stats().snapshot().since(&before).msgs_sent,
+            0,
+            "validation happens client-side"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "data index")]
+    fn out_of_range_stripe_index_panics() {
+        let c = client(2, 4);
+        let _ = c.read_stripe_index(StripeId(0), 2);
+    }
+
+    #[test]
+    fn explicit_recovery_on_a_healthy_stripe_is_a_noop_rewrite() {
+        let c = client(2, 4);
+        c.write_block(0, vec![9; 16]).unwrap();
+        c.recover_stripe(StripeId(0)).unwrap();
+        assert_eq!(c.read_block(0).unwrap(), vec![9; 16]);
+        // Running it again immediately is fine too (idempotent).
+        c.recover_stripe(StripeId(0)).unwrap();
+        assert_eq!(c.read_block(0).unwrap(), vec![9; 16]);
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique_across_threads() {
+        let c = std::sync::Arc::new(client(2, 4));
+        crossbeam_scope_writes(&c);
+        // 4 threads x 25 writes: every write got a distinct tid, so the
+        // data node's recentlist (pre-GC) holds exactly 100 entries.
+        let total: usize = (0..2u64)
+            .map(|lb| {
+                let node = c.node_of(StripeId(0), lb as usize);
+                c.endpoint().network().with_node(node, |n| {
+                    n.block_state(StripeId(0)).map_or(0, |b| b.pending_tids())
+                })
+            })
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    fn crossbeam_scope_writes(c: &std::sync::Arc<Client>) {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = std::sync::Arc::clone(c);
+                std::thread::spawn(move || {
+                    for i in 0..25u64 {
+                        c.write_block((t + i) % 2, vec![i as u8; 16]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

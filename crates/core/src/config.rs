@@ -1,0 +1,280 @@
+//! Client-side protocol configuration.
+
+use crate::resilience;
+use ajx_erasure::{CodeError, ReedSolomon, StripeLayout};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a `WRITE` updates the redundant blocks (Fig. 1's AJX-ser / AJX-par /
+/// AJX-bcast and §4's hybrid scheme).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateStrategy {
+    /// One `add` at a time, in node order (Theorem 1; highest resilience,
+    /// `ρ = 1 + δ` latency).
+    Serial,
+    /// All `add`s in a single parallel batch (Theorem 2; `ρ = 2` latency,
+    /// lowest resilience).
+    Parallel,
+    /// `groups` serial rounds of parallel `add`s (Theorem 3): the
+    /// compromise scheme.
+    Hybrid {
+        /// Number of serial groups `s` (each of size `⌈p/s⌉`).
+        groups: usize,
+    },
+    /// One multicast carrying `v − w`; nodes scale by their own `α_ji`
+    /// (§3.11). Same resilience analysis as parallel.
+    Broadcast,
+}
+
+impl UpdateStrategy {
+    /// Partitions the redundant in-stripe indices `k..n` into the serial
+    /// rounds this strategy performs.
+    pub fn rounds(&self, k: usize, n: usize) -> Vec<Vec<usize>> {
+        let all: Vec<usize> = (k..n).collect();
+        match *self {
+            UpdateStrategy::Serial => all.into_iter().map(|j| vec![j]).collect(),
+            UpdateStrategy::Parallel | UpdateStrategy::Broadcast => {
+                if all.is_empty() {
+                    vec![]
+                } else {
+                    vec![all]
+                }
+            }
+            UpdateStrategy::Hybrid { groups } => {
+                let s = groups.max(1);
+                let r = all.len().div_ceil(s);
+                all.chunks(r.max(1)).map(<[usize]>::to_vec).collect()
+            }
+        }
+    }
+
+    /// The maximum number of storage-node failures tolerated by this
+    /// strategy at client-failure threshold `t_p` (Theorems 1-3).
+    pub fn max_storage_failures(&self, p: usize, t_p: usize) -> i64 {
+        match *self {
+            UpdateStrategy::Serial => resilience::d_serial(p, t_p),
+            UpdateStrategy::Parallel | UpdateStrategy::Broadcast => {
+                resilience::d_parallel(p, t_p)
+            }
+            UpdateStrategy::Hybrid { groups } => {
+                let d = resilience::d_serial(p, t_p);
+                let r = p.div_ceil(groups.max(1)) as i64;
+                if r <= d {
+                    d
+                } else {
+                    // Oversized groups behave like parallel batches.
+                    resilience::d_parallel(p, t_p).min(d)
+                }
+            }
+        }
+    }
+}
+
+/// Configuration shared by all clients of one storage service.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// The erasure code (defines `k` and `n`).
+    pub code: Arc<ReedSolomon>,
+    /// Stripe-to-node placement (§3.11 rotation).
+    pub layout: StripeLayout,
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Redundant-update strategy.
+    pub strategy: UpdateStrategy,
+    /// Chosen client-failure threshold `t_p` (§1, limitations).
+    pub t_p: usize,
+    /// Maximum storage-node failures `t_d` the deployment must tolerate;
+    /// drives the recovery `slack` (Fig. 6 line 12). Must satisfy the §4
+    /// bound for the chosen strategy.
+    pub t_d: usize,
+    /// How many times a `WRITE` re-sends an `add` that keeps returning
+    /// ORDER before concluding the predecessor's client crashed and
+    /// starting recovery ("tired of looping", Fig. 5 line 13).
+    pub order_retry_limit: u32,
+    /// Retry budget for operations blocked on another client's recovery.
+    pub busy_retry_limit: u32,
+    /// How many L0 drain rounds recovery waits for outstanding `add`s to
+    /// make blocks consistent (Fig. 6 lines 13-18) before settling for a
+    /// smaller consistent set. Draining only helps when the writers are
+    /// alive; once patience runs out, recovery accepts any set of at least
+    /// `k` blocks — this is what lets the §3.10 monitoring sweep repair the
+    /// stripe even after more than `t_p` client crashes.
+    pub drain_patience: u32,
+    /// Pause between busy retries (zero in unit tests).
+    pub busy_retry_pause: Duration,
+    /// Whole-`WRITE` attempt budget (outer `repeat` of Fig. 5).
+    pub write_attempt_limit: u32,
+    /// Automatically remap crashed nodes through the directory service
+    /// (§3.5) when an RPC finds them down.
+    pub auto_remap: bool,
+    /// Garbage fill byte for remapped nodes (visible in tests).
+    pub remap_garbage: u8,
+}
+
+impl ProtocolConfig {
+    /// Builds a configuration for a `k`-of-`n` code.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::InvalidParams`] for an invalid `(k, n)`. The paper's §4
+    /// correctness preconditions (`k ≥ 2`, `n − k ≤ k`) are asserted by
+    /// [`ProtocolConfig::validate`], not here, so experiments can also probe
+    /// configurations outside them.
+    pub fn new(k: usize, n: usize, block_size: usize) -> Result<Self, CodeError> {
+        let code = Arc::new(ReedSolomon::new(k, n)?);
+        let layout = StripeLayout::new(k, n).expect("validated by ReedSolomon::new");
+        Ok(ProtocolConfig {
+            code,
+            layout,
+            block_size,
+            strategy: UpdateStrategy::Parallel,
+            t_p: 0,
+            t_d: n - k,
+            order_retry_limit: 64,
+            busy_retry_limit: 512,
+            drain_patience: 3,
+            busy_retry_pause: Duration::from_micros(100),
+            write_attempt_limit: 64,
+            auto_remap: true,
+            remap_garbage: 0xA5,
+        })
+    }
+
+    /// Sets the update strategy.
+    pub fn with_strategy(mut self, strategy: UpdateStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the failure thresholds `(t_p, t_d)`.
+    pub fn with_failure_thresholds(mut self, t_p: usize, t_d: usize) -> Self {
+        self.t_p = t_p;
+        self.t_d = t_d;
+        self
+    }
+
+    /// Number of data blocks `k`.
+    pub fn k(&self) -> usize {
+        self.code.k()
+    }
+
+    /// Total blocks `n`.
+    pub fn n(&self) -> usize {
+        self.code.n()
+    }
+
+    /// Redundant blocks `p = n − k`.
+    pub fn p(&self) -> usize {
+        self.code.p()
+    }
+
+    /// Checks the §4 correctness preconditions: `k ≥ 2`, `n − k ≤ k`, and
+    /// `t_d` within the chosen strategy's bound for `t_p`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k() < 2 {
+            return Err(format!("§4 requires k >= 2, got k = {}", self.k()));
+        }
+        if self.p() > self.k() {
+            return Err(format!(
+                "§4 requires n − k <= k, got p = {} > k = {}",
+                self.p(),
+                self.k()
+            ));
+        }
+        let bound = self.strategy.max_storage_failures(self.p(), self.t_p);
+        if (self.t_d as i64) > bound {
+            return Err(format!(
+                "t_d = {} exceeds the strategy bound {} for t_p = {} (Theorems 1-3)",
+                self.t_d, bound, self.t_p
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_partition_redundant_indices() {
+        let all: Vec<usize> = (3..7).collect();
+        let flat = |v: Vec<Vec<usize>>| v.into_iter().flatten().collect::<Vec<_>>();
+
+        let s = UpdateStrategy::Serial.rounds(3, 7);
+        assert_eq!(s.len(), 4);
+        assert_eq!(flat(s), all);
+
+        let p = UpdateStrategy::Parallel.rounds(3, 7);
+        assert_eq!(p.len(), 1);
+        assert_eq!(flat(p), all);
+
+        let h = UpdateStrategy::Hybrid { groups: 2 }.rounds(3, 7);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].len(), 2);
+        assert_eq!(flat(h), all);
+
+        // Degenerate: no redundant nodes.
+        assert!(UpdateStrategy::Parallel.rounds(3, 3).is_empty());
+    }
+
+    #[test]
+    fn hybrid_with_more_groups_than_nodes_degenerates_to_serial() {
+        let h = UpdateStrategy::Hybrid { groups: 10 }.rounds(2, 5);
+        assert_eq!(h.len(), 3);
+        assert!(h.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn config_validation_enforces_section4() {
+        // k = 1 violates k >= 2.
+        let c = ProtocolConfig::new(1, 3, 64).unwrap();
+        assert!(c.validate().unwrap_err().contains("k >= 2"));
+
+        // p > k violates n − k <= k.
+        let c = ProtocolConfig::new(2, 5, 64).unwrap();
+        assert!(c.validate().unwrap_err().contains("n − k <= k"));
+
+        // Fine: 3-of-5.
+        let c = ProtocolConfig::new(3, 5, 64).unwrap();
+        assert!(c.validate().is_ok());
+
+        // t_d beyond Theorem 2's bound with parallel adds.
+        let c = ProtocolConfig::new(4, 6, 64)
+            .unwrap()
+            .with_failure_thresholds(1, 2);
+        assert!(c.validate().is_err(), "parallel: d(2, t_p=1) = 1 < 2");
+        let c = c.with_strategy(UpdateStrategy::Serial);
+        assert!(c.validate().is_err(), "serial: d_serial(2,1) = 1 < 2");
+        let c = ProtocolConfig::new(4, 6, 64)
+            .unwrap()
+            .with_strategy(UpdateStrategy::Serial)
+            .with_failure_thresholds(1, 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn strategy_bounds_match_theorems() {
+        // p = 8, t_p = 2: serial tolerates 2, parallel only 1 (§4).
+        assert_eq!(UpdateStrategy::Serial.max_storage_failures(8, 2), 2);
+        assert_eq!(UpdateStrategy::Parallel.max_storage_failures(8, 2), 1);
+        assert_eq!(UpdateStrategy::Broadcast.max_storage_failures(8, 2), 1);
+        // A hybrid with group size <= d_serial keeps the serial bound...
+        assert_eq!(
+            UpdateStrategy::Hybrid { groups: 4 }.max_storage_failures(8, 2),
+            2
+        );
+        // ...but one oversized group falls back to the parallel bound.
+        assert_eq!(
+            UpdateStrategy::Hybrid { groups: 1 }.max_storage_failures(8, 2),
+            1
+        );
+    }
+
+    #[test]
+    fn accessors_expose_code_shape() {
+        let c = ProtocolConfig::new(3, 5, 128).unwrap();
+        assert_eq!((c.k(), c.n(), c.p()), (3, 5, 2));
+        assert_eq!(c.block_size, 128);
+    }
+}

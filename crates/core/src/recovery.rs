@@ -1,0 +1,507 @@
+//! The online recovery procedure of §3.8 / Fig. 6, and the
+//! [`find_consistent`] analysis it relies on.
+//!
+//! Recovery is run by *any client* that stumbles on a failed or locked
+//! block. It has three phases: (1) lock all `n` stripe-blocks in index
+//! order, (2) find `k + slack` blocks mutually consistent under the erasure
+//! code (letting outstanding `add`s drain through the weakened L0 lock if
+//! needed), (3) decode, rewrite every node, bump the epoch, and unlock.
+//! A crashed recovery is picked up by the next client via the `RECONS`
+//! opmode and the saved `recons_set`.
+
+use crate::config::ProtocolConfig;
+use crate::error::ProtocolError;
+use crate::rpc::{call, call_many, expect_reply};
+use ajx_storage::{
+    ClientId, Epoch, GetStateReply, LMode, NodeId, OpMode, Reply, Request, StripeId, Tid,
+};
+use ajx_transport::ClientEndpoint;
+use std::collections::BTreeSet;
+
+/// What a recovery attempt accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// This client completed recovery; the stripe is consistent and in a
+    /// fresh epoch.
+    Completed,
+    /// Another client holds the recovery locks; the caller should retry its
+    /// original operation after a pause.
+    LostRace,
+}
+
+/// Implements Fig. 6's `find_consistent`: the largest set `S` of in-stripe
+/// indices whose blocks are mutually consistent under the erasure code,
+/// judged purely from tid bookkeeping.
+///
+/// `states[t]` is node `t`'s `get_state` reply (`t < k` data, else
+/// redundant). Only `NORM` nodes are candidates (condition 1). Condition 2
+/// requires all redundant members to agree on their filtered recent-tid set
+/// `f̂`; condition 3 requires each data member's `f̂` to equal the
+/// redundant set's tids originated at that data block.
+///
+/// `Ĝ` — the tids excused from comparison — is the union of *all*
+/// candidates' oldlists: the two-phase GC of Fig. 7 guarantees a tid reaches
+/// any oldlist only after its write completed at every node, so a larger
+/// union never excuses a genuinely missing update (this realizes the paper's
+/// "if tid is in some oldlist of any node, then the write has occurred at
+/// all nodes").
+pub fn find_consistent(states: &[GetStateReply], k: usize) -> Vec<usize> {
+    let candidates: Vec<usize> = states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.opmode == OpMode::Norm && s.block.is_some())
+        .map(|(t, _)| t)
+        .collect();
+
+    let ghat: BTreeSet<Tid> = candidates
+        .iter()
+        .flat_map(|&t| states[t].oldlist.iter().map(|e| e.tid))
+        .collect();
+    let f = |t: usize| -> BTreeSet<Tid> {
+        states[t]
+            .recentlist
+            .iter()
+            .map(|e| e.tid)
+            .filter(|tid| !ghat.contains(tid))
+            .collect()
+    };
+
+    let data_nodes: Vec<usize> = candidates.iter().copied().filter(|&t| t < k).collect();
+    let red_nodes: Vec<usize> = candidates.iter().copied().filter(|&t| t >= k).collect();
+
+    // Group redundant candidates by their filtered tid set (condition 2).
+    let mut groups: Vec<(BTreeSet<Tid>, Vec<usize>)> = Vec::new();
+    for &r in &red_nodes {
+        let fr = f(r);
+        match groups.iter_mut().find(|(set, _)| *set == fr) {
+            Some((_, members)) => members.push(r),
+            None => groups.push((fr, vec![r])),
+        }
+    }
+    // The redundant-free set (conditions 2 and 3 vacuous): all data nodes.
+    let mut best: Vec<usize> = data_nodes.clone();
+
+    for (fset, members) in groups {
+        let mut s = members;
+        for &j in &data_nodes {
+            // Condition 3: Ĥ(r, j) — the group's tids originated at data
+            // block j — must equal f̂(j).
+            let h: BTreeSet<Tid> = fset.iter().copied().filter(|t| t.block == j).collect();
+            if h == f(j) {
+                s.push(j);
+            }
+        }
+        if s.len() > best.len() {
+            best = s;
+        }
+    }
+    best.sort_unstable();
+    best
+}
+
+/// Runs one recovery attempt for `stripe` (Fig. 6's `recover()`).
+///
+/// # Errors
+///
+/// [`ProtocolError::Unrecoverable`] if no `k` consistent blocks can be
+/// assembled (failure bounds of §4 exceeded); transport errors if this
+/// client is killed mid-recovery (the crash-during-recovery scenario —
+/// the locks it leaves behind expire and another client picks up).
+pub(crate) fn recover(
+    endpoint: &ClientEndpoint,
+    cfg: &ProtocolConfig,
+    caller: ClientId,
+    stripe: StripeId,
+) -> Result<RecoveryOutcome, ProtocolError> {
+    let n = cfg.n();
+    let k = cfg.k();
+    let node_of = |t: usize| NodeId(cfg.layout.node_for(stripe.0, t) as u32);
+
+    // ---- Phase 1: lock all blocks in index order (deadlock-free). ----
+    let mut acquired: Vec<(usize, LMode)> = Vec::new();
+    for t in 0..n {
+        let reply = call(
+            endpoint,
+            cfg,
+            node_of(t),
+            Request::TryLock {
+                stripe,
+                lm: LMode::L1,
+                caller,
+            },
+        )?;
+        let r = expect_reply!(reply, Reply::TryLock);
+        if r.ok {
+            acquired.push((t, r.old_lmode));
+        } else {
+            // Someone else is recovering: release what we took, restoring
+            // the previous lock modes (Fig. 6 line 5).
+            let releases: Vec<_> = acquired
+                .iter()
+                .map(|&(l, old)| {
+                    (
+                        node_of(l),
+                        Request::SetLock {
+                            stripe,
+                            lm: old,
+                            caller,
+                        },
+                    )
+                })
+                .collect();
+            for res in call_many(endpoint, cfg, releases) {
+                res?;
+            }
+            return Ok(RecoveryOutcome::LostRace);
+        }
+    }
+
+    // ---- Phase 2: read states; find a consistent set. ----
+    let mut states: Vec<GetStateReply> = Vec::with_capacity(n);
+    for t in 0..n {
+        let reply = call(endpoint, cfg, node_of(t), Request::GetState { stripe })?;
+        states.push(expect_reply!(reply, Reply::GetState));
+    }
+
+    let cset: Vec<usize> = if let Some(h) = states
+        .iter()
+        .position(|s| s.opmode == OpMode::Recons)
+    {
+        // A previous recovery crashed in phase 3: adopt its consistent set,
+        // minus nodes that have failed since (Fig. 6 line 9).
+        states[h]
+            .recons_set
+            .iter()
+            .copied()
+            .filter(|&j| states[j].opmode != OpMode::Init)
+            .collect()
+    } else {
+        let init_count = states.iter().filter(|s| s.opmode == OpMode::Init).count();
+        let slack = (cfg.t_d as i64 - init_count as i64).max(0) as usize;
+        // We first aim for k + slack consistent blocks so that `slack`
+        // further node failures during recovery remain survivable (Fig. 6
+        // line 13); if draining outstanding adds cannot get there (their
+        // writers may be dead, §3.10), we settle for any k.
+        let mut required = k + slack;
+        let mut cset = find_consistent(&states, k);
+        let mut patience = 0u32;
+        loop {
+            if cset.len() >= required {
+                // Re-acquire full locks before new adds slip in (Fig. 6
+                // line 19); drop members whose recentlist moved meanwhile.
+                let relocks: Vec<_> = (k..n)
+                    .map(|t| {
+                        (
+                            node_of(t),
+                            Request::GetRecent {
+                                stripe,
+                                lm: LMode::L1,
+                                caller,
+                            },
+                        )
+                    })
+                    .collect();
+                let lists: Vec<_> = call_many(endpoint, cfg, relocks)
+                    .into_iter()
+                    .collect::<Result<Vec<_>, _>>()?;
+                for (t, reply) in (k..n).zip(lists) {
+                    let list = expect_reply!(reply, Reply::GetRecent);
+                    if list != states[t].recentlist {
+                        cset.retain(|&j| j != t);
+                    }
+                }
+                if cset.len() >= required {
+                    break;
+                }
+            }
+            patience += 1;
+            if patience > cfg.drain_patience {
+                if required > k {
+                    // Outstanding writes are not completing (dead
+                    // clients): give up on the slack margin.
+                    required = k;
+                    patience = 0;
+                    continue;
+                }
+                unlock_all(endpoint, cfg, caller, stripe, n)?;
+                return Err(ProtocolError::Unrecoverable {
+                    stripe,
+                    reason: format!(
+                        "only {} consistent blocks found, {k} required",
+                        cset.len()
+                    ),
+                });
+            }
+            // Weaken redundant locks to L0 so outstanding adds can land
+            // and make blocks consistent (Fig. 6 lines 14-18).
+            let weaken: Vec<_> = (k..n)
+                .map(|t| {
+                    (
+                        node_of(t),
+                        Request::SetLock {
+                            stripe,
+                            lm: LMode::L0,
+                            caller,
+                        },
+                    )
+                })
+                .collect();
+            for res in call_many(endpoint, cfg, weaken) {
+                res?;
+            }
+            for _ in 0..8 {
+                let reads: Vec<_> = (k..n)
+                    .map(|t| (node_of(t), Request::GetState { stripe }))
+                    .collect();
+                for (t, res) in (k..n).zip(call_many(endpoint, cfg, reads)) {
+                    states[t] = expect_reply!(res?, Reply::GetState);
+                }
+                cset = find_consistent(&states, k);
+                if cset.len() >= required {
+                    break;
+                }
+                if !cfg.busy_retry_pause.is_zero() {
+                    std::thread::sleep(cfg.busy_retry_pause);
+                }
+            }
+        }
+        cset
+    };
+
+    if cset.len() < k {
+        unlock_all(endpoint, cfg, caller, stripe, n)?;
+        return Err(ProtocolError::Unrecoverable {
+            stripe,
+            reason: format!(
+                "consistent set has {} blocks but the code needs {k}",
+                cset.len()
+            ),
+        });
+    }
+
+    // ---- Phase 3: decode, rewrite, advance epoch, unlock. ----
+    let shares: Vec<(usize, &[u8])> = cset
+        .iter()
+        .take(k)
+        .map(|&t| {
+            (
+                t,
+                states[t]
+                    .block
+                    .as_deref()
+                    .expect("consistent members carry content"),
+            )
+        })
+        .collect();
+    let blocks = cfg.code.reconstruct_stripe(&shares)?;
+
+    let writes: Vec<_> = (0..n)
+        .map(|t| {
+            (
+                node_of(t),
+                Request::Reconstruct {
+                    stripe,
+                    cset: cset.clone(),
+                    block: blocks[t].clone(),
+                },
+            )
+        })
+        .collect();
+    let mut max_epoch = Epoch(0);
+    for res in call_many(endpoint, cfg, writes) {
+        let ep = expect_reply!(res?, Reply::Reconstruct);
+        max_epoch = max_epoch.max(ep);
+    }
+
+    let finals: Vec<_> = (0..n)
+        .map(|t| {
+            (
+                node_of(t),
+                Request::Finalize {
+                    stripe,
+                    epoch: max_epoch.next(),
+                },
+            )
+        })
+        .collect();
+    for res in call_many(endpoint, cfg, finals) {
+        res?;
+    }
+    Ok(RecoveryOutcome::Completed)
+}
+
+fn unlock_all(
+    endpoint: &ClientEndpoint,
+    cfg: &ProtocolConfig,
+    caller: ClientId,
+    stripe: StripeId,
+    n: usize,
+) -> Result<(), ProtocolError> {
+    let releases: Vec<_> = (0..n)
+        .map(|t| {
+            (
+                NodeId(cfg.layout.node_for(stripe.0, t) as u32),
+                Request::SetLock {
+                    stripe,
+                    lm: LMode::Unl,
+                    caller,
+                },
+            )
+        })
+        .collect();
+    for res in call_many(endpoint, cfg, releases) {
+        res?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajx_storage::TidEntry;
+
+    fn tid(seq: u64, block: usize) -> Tid {
+        Tid::new(seq, block, ClientId(1))
+    }
+
+    fn entry(seq: u64, block: usize, time: u64) -> TidEntry {
+        TidEntry {
+            tid: tid(seq, block),
+            time,
+        }
+    }
+
+    fn state(
+        opmode: OpMode,
+        recent: Vec<TidEntry>,
+        old: Vec<TidEntry>,
+        block: Option<Vec<u8>>,
+    ) -> GetStateReply {
+        GetStateReply {
+            opmode,
+            recons_set: vec![],
+            oldlist: old,
+            recentlist: recent,
+            block,
+        }
+    }
+
+    fn norm(recent: Vec<TidEntry>) -> GetStateReply {
+        state(OpMode::Norm, recent, vec![], Some(vec![0]))
+    }
+
+    #[test]
+    fn all_quiet_stripe_is_fully_consistent() {
+        // k = 2, n = 4, no outstanding writes anywhere.
+        let states = vec![norm(vec![]), norm(vec![]), norm(vec![]), norm(vec![])];
+        assert_eq!(find_consistent(&states, 2), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn completed_write_everywhere_is_consistent() {
+        let t = entry(1, 0, 1);
+        let states = vec![
+            norm(vec![t]),
+            norm(vec![]),
+            norm(vec![t]),
+            norm(vec![t]),
+        ];
+        assert_eq!(find_consistent(&states, 2), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn partial_write_splits_the_redundant_nodes() {
+        // Write to block 0 reached data node 0 and redundant node 2, but
+        // not redundant node 3: nodes {0, 1, 2} are consistent (new value),
+        // and {1, 3} is the old-value alternative; the larger wins.
+        let t = entry(1, 0, 1);
+        let states = vec![
+            norm(vec![t]),
+            norm(vec![]),
+            norm(vec![t]),
+            norm(vec![]),
+        ];
+        assert_eq!(find_consistent(&states, 2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn swap_without_any_adds_excludes_the_data_node() {
+        // The write reached only the data node: redundancy agrees on "no
+        // write", so the consistent set is everyone else.
+        let t = entry(1, 0, 1);
+        let states = vec![
+            norm(vec![t]),
+            norm(vec![]),
+            norm(vec![]),
+            norm(vec![]),
+        ];
+        assert_eq!(find_consistent(&states, 2), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn init_nodes_are_never_candidates() {
+        let states = vec![
+            norm(vec![]),
+            state(OpMode::Init, vec![], vec![], None),
+            norm(vec![]),
+            norm(vec![]),
+        ];
+        assert_eq!(find_consistent(&states, 2), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn oldlist_membership_excuses_recentlist_differences() {
+        // tid was GC'd to oldlist at node 2 but still in recentlist at
+        // node 3: Ĝ contains it, so both count as having it.
+        let t = entry(1, 0, 1);
+        let states = vec![
+            norm(vec![]),
+            norm(vec![]),
+            state(OpMode::Norm, vec![], vec![t], Some(vec![0])),
+            norm(vec![t]),
+        ];
+        assert_eq!(find_consistent(&states, 2), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_concurrent_partial_writes_pick_the_largest_alternative() {
+        // Writes to blocks 0 and 1; block-0's write landed on both
+        // redundant nodes, block-1's only on node 3.
+        let t0 = entry(1, 0, 1);
+        let t1 = entry(2, 1, 1);
+        let states = vec![
+            norm(vec![t0]),
+            norm(vec![t1]),
+            norm(vec![t0]),
+            norm(vec![TidEntry { tid: t0.tid, time: 2 }, t1]),
+        ];
+        // {0, 2} agree on {t0}; node 3 has {t0, t1} which matches data
+        // {0, 1} jointly: S = {0, 1, 3}. {0, 2} ∪ {} = {0,2} smaller.
+        let got = find_consistent(&states, 2);
+        assert_eq!(got, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn no_redundant_agreement_still_returns_data_nodes() {
+        // Both redundant nodes saw different partial histories; the data
+        // nodes alone form the best consistent set.
+        let t0 = entry(1, 0, 1);
+        let t1 = entry(2, 1, 1);
+        let states = vec![
+            norm(vec![t0]),
+            norm(vec![t1]),
+            norm(vec![t0]),
+            norm(vec![t1]),
+        ];
+        // Group {2}: fset {t0} matches data 0 (f={t0}) but not data 1 →
+        // S = {0, 2}; group {3}: S = {1, 3}; data-only S = {0, 1}. All
+        // size 2; any is acceptable — we just need *a* maximal one.
+        let got = find_consistent(&states, 2);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_set() {
+        assert!(find_consistent(&[], 2).is_empty());
+    }
+}

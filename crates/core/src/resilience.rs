@@ -1,0 +1,295 @@
+//! The failure-resilience theory of §4: Theorems 1-3 and Corollary 1.
+//!
+//! With `p = n − k` redundant blocks, `t_p` tolerated client crashes and
+//! `t_d` tolerated storage-node crashes:
+//!
+//! * **Theorem 1** (serial adds):   safe iff `t_d ≤ d_serial = ⌈p/(t_p+1) − t_p/2⌉`
+//! * **Theorem 2** (parallel adds): safe iff `t_d ≤ d_parallel = ⌈p/2^t_p − t_p/2⌉`
+//! * **Theorem 3** (hybrid):        safe iff `t_d ≤ d_serial` and the
+//!   parallel-group size `r = ⌈p/s⌉ ≤ d_serial`
+//! * **Corollary 1**: required redundancy `δ` and common-case write latency
+//!   `ρ` per scheme.
+//!
+//! These functions drive the Fig. 8(a) resiliency column, the Fig. 8(c)
+//! table, and the protocol's `slack` computation during recovery (Fig. 6
+//! line 12).
+
+/// Ceiling of the rational `num / den` for positive `den`.
+fn ceil_div(num: i64, den: i64) -> i64 {
+    debug_assert!(den > 0);
+    num.div_euclid(den) + i64::from(num.rem_euclid(den) != 0)
+}
+
+/// Theorem 1: the maximum `t_d` tolerated with **serial** redundant-block
+/// updates, `d_serial = ⌈(n−k)/(t_p+1) − t_p/2⌉`.
+///
+/// A non-positive result means even one storage crash is unsafe at this
+/// `t_p`.
+pub fn d_serial(p: usize, t_p: usize) -> i64 {
+    let p = p as i64;
+    let t = t_p as i64;
+    // ⌈ p/(t+1) − t/2 ⌉ = ⌈ (2p − t(t+1)) / (2(t+1)) ⌉
+    ceil_div(2 * p - t * (t + 1), 2 * (t + 1))
+}
+
+/// Theorem 2: the maximum `t_d` tolerated with **parallel** redundant-block
+/// updates, `d_parallel = ⌈(n−k)/2^t_p − t_p/2⌉`.
+pub fn d_parallel(p: usize, t_p: usize) -> i64 {
+    let p = p as i64;
+    let t = t_p as i64;
+    let pow = 1i64 << t_p.min(62);
+    // ⌈ p/2^t − t/2 ⌉ = ⌈ (2p − t·2^t) / 2^{t+1} ⌉
+    ceil_div(2 * p - t * pow, 2 * pow)
+}
+
+/// Theorem 3: whether a hybrid scheme with `s` serial groups over `p`
+/// redundant nodes tolerates (`t_p`, `t_d`): requires `t_d ≤ d_serial` and
+/// group size `r = ⌈p/s⌉ ≤ d_serial`.
+pub fn hybrid_safe(p: usize, s: usize, t_p: usize, t_d: usize) -> bool {
+    if s == 0 {
+        return false;
+    }
+    let d = d_serial(p, t_p);
+    let r = ceil_div(p as i64, s as i64);
+    (t_d as i64) <= d && r <= d
+}
+
+/// Corollary 1 (serial / hybrid): redundant nodes needed to tolerate
+/// (`t_p`, `t_d`): `δ = 1 + (t_p+1)(t_d + t_p/2 − 1)`.
+pub fn delta_serial(t_p: usize, t_d: usize) -> i64 {
+    let t = t_p as i64;
+    let d = t_d as i64;
+    // (t+1)(d + t/2 − 1) = (t+1)(2d + t − 2)/2, always integral.
+    1 + (t + 1) * (2 * d + t - 2) / 2
+}
+
+/// Corollary 1 (parallel adds): `δ = 1 + 2^t_p (t_d + t_p/2 − 1)`.
+pub fn delta_parallel(t_p: usize, t_d: usize) -> i64 {
+    let t = t_p as i64;
+    let d = t_d as i64;
+    let pow = 1i64 << t_p.min(62);
+    1 + pow * (2 * d + t - 2) / 2
+}
+
+/// Corollary 1: common-case `WRITE` latency in round trips for the serial
+/// scheme, `ρ = 1 + δ`.
+pub fn rho_serial(delta: i64) -> i64 {
+    1 + delta
+}
+
+/// Common-case `WRITE` latency for parallel adds: `ρ = 2`.
+pub fn rho_parallel() -> i64 {
+    2
+}
+
+/// §4 hybrid: `ρ = 1 + ⌈δ / d_serial⌉` round trips with the same `δ` as the
+/// serial scheme.
+pub fn rho_hybrid(delta: i64, d_serial: i64) -> Option<i64> {
+    if d_serial <= 0 {
+        return None;
+    }
+    Some(1 + ceil_div(delta, d_serial))
+}
+
+/// A (client-crashes, storage-crashes) pair a configuration tolerates —
+/// Fig. 8's "1c1s" notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tolerance {
+    /// Tolerated client crashes.
+    pub clients: usize,
+    /// Tolerated storage-node crashes.
+    pub storage: usize,
+}
+
+impl std::fmt::Display for Tolerance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}c{}s", self.clients, self.storage)
+    }
+}
+
+/// All maximal (t_p, t_d) pairs tolerated by `p = n − k` redundant nodes
+/// under serial updates — the rows of Fig. 8(c). The list is ordered by
+/// increasing `t_p` and stops when no storage crash can be tolerated.
+pub fn tolerated_pairs_serial(p: usize) -> Vec<Tolerance> {
+    tolerated_pairs_by(p, d_serial)
+}
+
+/// The Fig. 8(c) pairs under parallel updates (Theorem 2).
+pub fn tolerated_pairs_parallel(p: usize) -> Vec<Tolerance> {
+    tolerated_pairs_by(p, d_parallel)
+}
+
+fn tolerated_pairs_by(p: usize, d: impl Fn(usize, usize) -> i64) -> Vec<Tolerance> {
+    let mut out = Vec::new();
+    for t_p in 0.. {
+        let t_d = d(p, t_p);
+        if t_d < 0 {
+            break;
+        }
+        out.push(Tolerance {
+            clients: t_p,
+            storage: t_d.max(0) as usize,
+        });
+        if t_d == 0 {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ceil_div_matches_mathematical_ceiling() {
+        assert_eq!(ceil_div(4, 2), 2);
+        assert_eq!(ceil_div(5, 2), 3);
+        assert_eq!(ceil_div(-1, 2), 0);
+        assert_eq!(ceil_div(-4, 3), -1);
+        assert_eq!(ceil_div(0, 5), 0);
+        assert_eq!(ceil_div(1, 4), 1);
+    }
+
+    #[test]
+    fn no_client_failures_tolerates_all_redundancy() {
+        // t_p = 0: every redundant node converts to a tolerated storage
+        // crash in both schemes.
+        for p in 1..=16 {
+            assert_eq!(d_serial(p, 0), p as i64);
+            assert_eq!(d_parallel(p, 0), p as i64);
+        }
+    }
+
+    #[test]
+    fn paper_example_two_redundant_blocks() {
+        // Fig. 8(a)'s "1c1s, 0c2s" for p = 2 codes (3-of-5, 4-of-6, 5-of-7):
+        assert_eq!(d_serial(2, 0), 2); // 0 clients, 2 storage
+        assert_eq!(d_serial(2, 1), 1); // 1 client, 1 storage
+        assert_eq!(d_serial(2, 2), 0); // 2 clients: no storage crash on top
+        assert_eq!(
+            tolerated_pairs_serial(2),
+            vec![
+                Tolerance { clients: 0, storage: 2 },
+                Tolerance { clients: 1, storage: 1 },
+                Tolerance { clients: 2, storage: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn single_redundant_block_is_raid5_like() {
+        // p = 1 (e.g. 3-of-4): one storage crash with no client crashes.
+        assert_eq!(
+            tolerated_pairs_serial(1),
+            vec![
+                Tolerance { clients: 0, storage: 1 },
+                Tolerance { clients: 1, storage: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_scheme_tolerates_fewer_client_failures() {
+        // §4: "the parallel scheme has smaller latency ... but much lower
+        // tolerance". With p = 8:
+        assert_eq!(d_serial(8, 2), 2); // ceil(8/3 - 1) = 2
+        assert_eq!(d_parallel(8, 2), 1); // ceil(8/4 - 1) = 1
+        assert_eq!(d_serial(8, 3), 1); // ceil(8/4 − 3/2) = ceil(0.5) = 1
+        assert_eq!(d_parallel(8, 3), 0); // ceil(8/8 − 3/2) = ceil(−0.5) = 0
+    }
+
+    #[test]
+    fn corollary_inverts_theorem() {
+        // δ redundant nodes computed by Corollary 1 must indeed tolerate
+        // (t_p, t_d) per the matching theorem, and be minimal.
+        for t_p in 0..5usize {
+            for t_d in 1..6usize {
+                let ds = delta_serial(t_p, t_d);
+                assert!(ds >= 1, "delta must be positive for t_d >= 1");
+                assert!(
+                    d_serial(ds as usize, t_p) >= t_d as i64,
+                    "serial delta {ds} insufficient for ({t_p},{t_d})"
+                );
+                if ds > 1 {
+                    assert!(
+                        d_serial(ds as usize - 1, t_p) < t_d as i64,
+                        "serial delta {ds} not minimal for ({t_p},{t_d})"
+                    );
+                }
+                let dp = delta_parallel(t_p, t_d);
+                assert!(
+                    d_parallel(dp as usize, t_p) >= t_d as i64,
+                    "parallel delta {dp} insufficient for ({t_p},{t_d})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latency_formulas() {
+        assert_eq!(rho_parallel(), 2);
+        assert_eq!(rho_serial(3), 4);
+        // §4: when t_p = 0, d_serial = δ so ρ_hybrid = 2.
+        let t_d = 3;
+        let delta = delta_serial(0, t_d);
+        assert_eq!(rho_hybrid(delta, d_serial(delta as usize, 0)), Some(2));
+        assert_eq!(rho_hybrid(5, 0), None);
+    }
+
+    #[test]
+    fn hybrid_safety_matches_theorem_3() {
+        // p = 6, t_p = 1: d_serial = ceil(3 - 0.5) = 3.
+        assert_eq!(d_serial(6, 1), 3);
+        // Groups of size <= 3 are safe for t_d <= 3:
+        assert!(hybrid_safe(6, 2, 1, 3)); // r = 3
+        assert!(hybrid_safe(6, 3, 1, 3)); // r = 2
+        // One big group of 6 exceeds d_serial:
+        assert!(!hybrid_safe(6, 1, 1, 3));
+        // t_d beyond d_serial is unsafe regardless of grouping:
+        assert!(!hybrid_safe(6, 3, 1, 4));
+        assert!(!hybrid_safe(6, 0, 0, 1));
+    }
+
+    #[test]
+    fn fig8c_depends_only_on_p() {
+        // §6.1: tolerated crashes depend "only on n − k, not on n or k
+        // individually" — our functions take only p, so spot-check the
+        // table values for p = 1..6 are monotone in p.
+        let mut prev = 0;
+        for p in 1..=6 {
+            let pairs = tolerated_pairs_serial(p);
+            assert!(pairs[0].storage >= prev);
+            prev = pairs[0].storage;
+            // First row is always (0 clients, p storage).
+            assert_eq!(pairs[0], Tolerance { clients: 0, storage: p });
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_d_serial_monotone_in_p(p in 1usize..64, t_p in 0usize..8) {
+            prop_assert!(d_serial(p + 1, t_p) >= d_serial(p, t_p));
+            prop_assert!(d_parallel(p + 1, t_p) >= d_parallel(p, t_p));
+        }
+
+        #[test]
+        fn prop_d_decreasing_in_tp(p in 1usize..64, t_p in 0usize..8) {
+            prop_assert!(d_serial(p, t_p + 1) <= d_serial(p, t_p));
+            prop_assert!(d_parallel(p, t_p + 1) <= d_parallel(p, t_p));
+        }
+
+        #[test]
+        fn prop_parallel_never_beats_serial(p in 1usize..64, t_p in 0usize..8) {
+            // 2^t >= t+1, so the parallel scheme never tolerates more.
+            prop_assert!(d_parallel(p, t_p) <= d_serial(p, t_p));
+        }
+
+        #[test]
+        fn prop_tolerance_display(c in 0usize..10, s in 0usize..10) {
+            let t = Tolerance { clients: c, storage: s };
+            prop_assert_eq!(t.to_string(), format!("{c}c{s}s"));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Typed RPC helpers: thin wrappers over the transport that unwrap reply
+//! variants and implement the §3.5 directory behaviour (auto-remap of
+//! crashed nodes) so the protocol code reads like the paper's pseudocode.
+
+use crate::config::ProtocolConfig;
+use crate::error::ProtocolError;
+use ajx_storage::{NodeId, Reply, Request};
+use ajx_transport::{ClientEndpoint, RpcError};
+
+/// Issues `req`, transparently remapping a crashed node once (§3.5: "clients
+/// simply access some logical node, which gets remapped on failures").
+///
+/// # Errors
+///
+/// Propagates transport errors that remapping cannot fix (client killed,
+/// unknown node, node crashed again immediately).
+pub(crate) fn call(
+    endpoint: &ClientEndpoint,
+    cfg: &ProtocolConfig,
+    node: NodeId,
+    req: Request,
+) -> Result<Reply, ProtocolError> {
+    match endpoint.call(node, req.clone()) {
+        Ok(reply) => Ok(reply),
+        Err(RpcError::NodeDown(_)) if cfg.auto_remap => {
+            endpoint.network().remap_node(node, cfg.remap_garbage);
+            endpoint.call(node, req).map_err(ProtocolError::from)
+        }
+        Err(e) => Err(ProtocolError::from(e)),
+    }
+}
+
+/// Parallel fan-out (`pfor`) with the same auto-remap semantics per call.
+pub(crate) fn call_many(
+    endpoint: &ClientEndpoint,
+    cfg: &ProtocolConfig,
+    calls: Vec<(NodeId, Request)>,
+) -> Vec<Result<Reply, ProtocolError>> {
+    let retry_targets: Vec<(NodeId, Request)> = calls.clone();
+    let first = endpoint.call_many(calls);
+    first
+        .into_iter()
+        .zip(retry_targets)
+        .map(|(res, (node, req))| match res {
+            Ok(reply) => Ok(reply),
+            Err(RpcError::NodeDown(_)) if cfg.auto_remap => {
+                endpoint.network().remap_node(node, cfg.remap_garbage);
+                endpoint.call(node, req).map_err(ProtocolError::from)
+            }
+            Err(e) => Err(ProtocolError::from(e)),
+        })
+        .collect()
+}
+
+/// Unwraps a reply variant, panicking on a cross-variant mismatch — that
+/// would be an internal protocol bug, not a runtime condition.
+macro_rules! expect_reply {
+    ($reply:expr, $variant:path) => {
+        match $reply {
+            $variant(inner) => inner,
+            other => unreachable!(
+                "storage node answered {:?} to a {} request",
+                other,
+                stringify!($variant)
+            ),
+        }
+    };
+}
+pub(crate) use expect_reply;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use ajx_storage::{ClientId, StripeId};
+    use ajx_transport::{Network, NetworkConfig};
+
+    fn setup(auto_remap: bool) -> (std::sync::Arc<Network>, ClientEndpoint, ProtocolConfig) {
+        let mut cfg = ProtocolConfig::new(2, 4, 16).unwrap();
+        cfg.auto_remap = auto_remap;
+        let net = Network::new(NetworkConfig {
+            n_nodes: 4,
+            block_size: 16,
+            ..NetworkConfig::default()
+        });
+        let ep = net.client(ClientId(1));
+        (net, ep, cfg)
+    }
+
+    #[test]
+    fn call_remaps_a_crashed_node_transparently() {
+        let (net, ep, cfg) = setup(true);
+        net.crash_node(NodeId(2));
+        // The directory behaviour (§3.5): the call lands on the fresh
+        // INIT replacement instead of erroring.
+        let reply = call(&ep, &cfg, NodeId(2), Request::Read { stripe: StripeId(0) }).unwrap();
+        match reply {
+            Reply::Read(r) => assert!(r.block.is_none(), "INIT node returns ⊥"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(net.node_is_up(NodeId(2)));
+    }
+
+    #[test]
+    fn call_without_auto_remap_surfaces_node_down() {
+        let (net, ep, cfg) = setup(false);
+        net.crash_node(NodeId(1));
+        let err = call(&ep, &cfg, NodeId(1), Request::Read { stripe: StripeId(0) }).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ProtocolError::Rpc(RpcError::NodeDown(_))
+        ));
+        assert!(!net.node_is_up(NodeId(1)), "no remap requested");
+    }
+
+    #[test]
+    fn call_many_remaps_only_the_down_targets() {
+        let (net, ep, cfg) = setup(true);
+        net.crash_node(NodeId(0));
+        net.crash_node(NodeId(3));
+        let calls: Vec<_> = (0..4)
+            .map(|i| (NodeId(i), Request::Read { stripe: StripeId(0) }))
+            .collect();
+        let replies = call_many(&ep, &cfg, calls);
+        assert_eq!(replies.len(), 4);
+        assert!(replies.iter().all(Result::is_ok));
+        // Remapped nodes answer ⊥; healthy nodes answer content.
+        for (i, r) in replies.into_iter().enumerate() {
+            let Reply::Read(read) = r.unwrap() else { panic!() };
+            if i == 0 || i == 3 {
+                assert!(read.block.is_none(), "node {i} is INIT after remap");
+            } else {
+                assert!(read.block.is_some(), "node {i} untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn killed_client_error_is_not_remapped_away() {
+        let (_net, ep, cfg) = setup(true);
+        ep.kill_after(0);
+        let err = call(&ep, &cfg, NodeId(0), Request::Read { stripe: StripeId(0) }).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ProtocolError::Rpc(RpcError::ClientKilled)
+        ));
+    }
+}

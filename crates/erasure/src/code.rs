@@ -1,0 +1,500 @@
+//! Systematic k-of-n Reed-Solomon codes over GF(2⁸) with incremental
+//! ("delta") updates — the erasure-code substrate of the AJX protocol.
+//!
+//! A stripe holds `k` data blocks `b_1..b_k` and `p = n−k` redundant blocks
+//! `b_{k+1}..b_n`, where `b_j = Σ_i α_ji · b_i` (§3.3 of the paper). The
+//! coefficients come from a Vandermonde-derived systematic generator matrix,
+//! so the code is MDS: *any* `k` of the `n` blocks reconstruct the data.
+//!
+//! The protocol never re-encodes a stripe on a write; it sends each
+//! redundant node the increment `α_ji · (v − w)` (Fig. 3/Fig. 5), which this
+//! module computes with [`ReedSolomon::delta`].
+
+use crate::error::CodeError;
+use crate::matrix::Matrix;
+use ajx_gf::{slice, Field, Gf256};
+
+/// Largest supported stripe width: GF(2⁸) offers 256 distinct evaluation
+/// points.
+pub const MAX_N: usize = 256;
+
+/// A systematic k-of-n Reed-Solomon erasure code.
+///
+/// # Example
+///
+/// ```
+/// use ajx_erasure::ReedSolomon;
+///
+/// # fn main() -> Result<(), ajx_erasure::CodeError> {
+/// let rs = ReedSolomon::new(3, 5)?; // 3 data + 2 redundant blocks
+/// let data: Vec<Vec<u8>> = vec![vec![1; 16], vec![2; 16], vec![3; 16]];
+/// let stripe = rs.encode_stripe(&data)?;
+/// // Lose any two blocks — say blocks 0 and 3 — and recover the data:
+/// let survivors: Vec<(usize, &[u8])> =
+///     vec![(1, &stripe[1][..]), (2, &stripe[2][..]), (4, &stripe[4][..])];
+/// let recovered = rs.decode(&survivors)?;
+/// assert_eq!(recovered, data);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    k: usize,
+    n: usize,
+    /// `p × k` matrix of redundancy coefficients: `red[(j, i)] = α_{k+j, i}`.
+    red: Matrix<Gf256>,
+}
+
+impl ReedSolomon {
+    /// Builds the code with `k` data blocks and `n` total blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] unless `1 ≤ k < n ≤ 256`.
+    pub fn new(k: usize, n: usize) -> Result<Self, CodeError> {
+        if k == 0 || k >= n || n > MAX_N {
+            return Err(CodeError::InvalidParams { k, n });
+        }
+        // Systematic construction: with V the n×k Vandermonde matrix on
+        // distinct points, G = V · V_top⁻¹ has an identity top block, and
+        // any k rows of G remain invertible (product of invertibles), so
+        // the code is MDS.
+        let v = Matrix::<Gf256>::vandermonde(n, k);
+        let top = v.select_rows(&(0..k).collect::<Vec<_>>());
+        let top_inv = top
+            .inverted()
+            .expect("vandermonde on distinct points is invertible");
+        let bottom = v.select_rows(&(k..n).collect::<Vec<_>>());
+        let red = bottom.mul(&top_inv);
+        Ok(ReedSolomon { k, n, red })
+    }
+
+    /// Number of data blocks per stripe.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of blocks per stripe.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of redundant blocks per stripe (`p = n − k`).
+    pub fn p(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// The erasure-code coefficient `α_ji` applied to data block `i`
+    /// (`0 ≤ i < k`) in redundant block `k + j` (`0 ≤ j < p`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j ≥ p` or `i ≥ k`.
+    pub fn coefficient(&self, j: usize, i: usize) -> Gf256 {
+        assert!(j < self.p(), "redundant index {j} out of range");
+        assert!(i < self.k, "data index {i} out of range");
+        self.red[(j, i)]
+    }
+
+    /// Computes the `p` redundant blocks for `data` (one `Vec` per block).
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::WrongBlockCount`] if `data.len() != k`;
+    /// [`CodeError::LengthMismatch`] if the blocks differ in length.
+    pub fn encode<B: AsRef<[u8]>>(&self, data: &[B]) -> Result<Vec<Vec<u8>>, CodeError> {
+        if data.len() != self.k {
+            return Err(CodeError::WrongBlockCount {
+                expected: self.k,
+                got: data.len(),
+            });
+        }
+        let len = check_equal_lengths(data)?;
+        let mut out = vec![vec![0u8; len]; self.p()];
+        for (j, red_block) in out.iter_mut().enumerate() {
+            for (i, d) in data.iter().enumerate() {
+                slice::mul_add_assign(red_block, self.red[(j, i)].as_byte(), d.as_ref());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes the full stripe: the `k` data blocks followed by the `p`
+    /// redundant blocks.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReedSolomon::encode`].
+    pub fn encode_stripe<B: AsRef<[u8]>>(&self, data: &[B]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let red = self.encode(data)?;
+        let mut stripe: Vec<Vec<u8>> = data.iter().map(|b| b.as_ref().to_vec()).collect();
+        stripe.extend(red);
+        Ok(stripe)
+    }
+
+    /// Recovers the `k` data blocks from any `k` distinct stripe blocks.
+    ///
+    /// `shares` pairs each block with its index in the stripe
+    /// (`0..k` data, `k..n` redundant). Exactly `k` shares must be given;
+    /// callers with more should pick any `k` (the protocol's recovery picks
+    /// the consistent set, §3.8).
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::WrongBlockCount`] unless exactly `k` shares are given;
+    /// [`CodeError::IndexOutOfRange`] / [`CodeError::DuplicateShare`] on bad
+    /// indices; [`CodeError::LengthMismatch`] on ragged blocks.
+    pub fn decode(&self, shares: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>, CodeError> {
+        if shares.len() != self.k {
+            return Err(CodeError::WrongBlockCount {
+                expected: self.k,
+                got: shares.len(),
+            });
+        }
+        let mut seen = vec![false; self.n];
+        for &(idx, _) in shares {
+            if idx >= self.n {
+                return Err(CodeError::IndexOutOfRange { index: idx, n: self.n });
+            }
+            if seen[idx] {
+                return Err(CodeError::DuplicateShare { index: idx });
+            }
+            seen[idx] = true;
+        }
+        let blocks: Vec<&[u8]> = shares.iter().map(|&(_, b)| b).collect();
+        let len = check_equal_lengths(&blocks)?;
+
+        // Row for share `idx`: unit vector for data blocks, coefficient row
+        // for redundant blocks. The k×k system is invertible by MDS-ness.
+        let rows: Vec<Vec<Gf256>> = shares
+            .iter()
+            .map(|&(idx, _)| {
+                if idx < self.k {
+                    let mut row = vec![Gf256::ZERO; self.k];
+                    row[idx] = Gf256::ONE;
+                    row
+                } else {
+                    self.red.row(idx - self.k).to_vec()
+                }
+            })
+            .collect();
+        let m = Matrix::from_rows(rows);
+        let inv = m.inverted().ok_or(CodeError::NotDecodable)?;
+
+        let mut data = vec![vec![0u8; len]; self.k];
+        for (i, out) in data.iter_mut().enumerate() {
+            for (s, &(_, share)) in shares.iter().enumerate() {
+                slice::mul_add_assign(out, inv[(i, s)].as_byte(), share);
+            }
+        }
+        Ok(data)
+    }
+
+    /// Recovers the **entire stripe** (all `n` blocks) from any `k` shares:
+    /// decode the data, then re-encode the redundancy. This is what the
+    /// recovery procedure's `erasure_decode` (Fig. 6 line 21) needs, since
+    /// it rewrites every storage node.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReedSolomon::decode`].
+    pub fn reconstruct_stripe(&self, shares: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let data = self.decode(shares)?;
+        self.encode_stripe(&data)
+    }
+
+    /// The increment a client sends redundant node `k + j` when data block
+    /// `i` changes from `old` to `new`: `α_ji · (new − old)` (Fig. 5
+    /// line 10). The redundant node simply XORs this into its block.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::LengthMismatch`] if `new` and `old` differ in length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j ≥ p` or `i ≥ k`.
+    pub fn delta(&self, j: usize, i: usize, new: &[u8], old: &[u8]) -> Result<Vec<u8>, CodeError> {
+        if new.len() != old.len() {
+            return Err(CodeError::LengthMismatch);
+        }
+        let c = self.coefficient(j, i);
+        let mut out = vec![0u8; new.len()];
+        slice::delta_into(&mut out, c.as_byte(), new, old);
+        Ok(out)
+    }
+
+    /// The *broadcast* form of the increment (§3.11): the client sends the
+    /// plain difference `new − old` once, and each redundant node multiplies
+    /// by its own `α_ji` before adding. Returns the difference block.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::LengthMismatch`] if `new` and `old` differ in length.
+    pub fn broadcast_delta(&self, new: &[u8], old: &[u8]) -> Result<Vec<u8>, CodeError> {
+        if new.len() != old.len() {
+            return Err(CodeError::LengthMismatch);
+        }
+        let mut out = new.to_vec();
+        slice::add_assign(&mut out, old);
+        Ok(out)
+    }
+
+    /// Applies a received broadcast difference at redundant node `k + j` for
+    /// a write to data block `i`: computes `α_ji · diff` (the node-side
+    /// multiply of §3.11).
+    pub fn scale_broadcast_delta(&self, j: usize, i: usize, diff: &[u8]) -> Vec<u8> {
+        let c = self.coefficient(j, i);
+        let mut out = diff.to_vec();
+        slice::mul_assign(&mut out, c.as_byte());
+        out
+    }
+
+    /// Checks that a full stripe is consistent with the code (redundant
+    /// blocks equal the encoding of the data blocks). Used pervasively in
+    /// tests; a real system cannot afford this check per access, which is
+    /// exactly why the paper needs `recentlist` bookkeeping (§3.8).
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::WrongBlockCount`] / [`CodeError::LengthMismatch`] on a
+    /// malformed stripe.
+    pub fn verify_stripe<B: AsRef<[u8]>>(&self, stripe: &[B]) -> Result<bool, CodeError> {
+        if stripe.len() != self.n {
+            return Err(CodeError::WrongBlockCount {
+                expected: self.n,
+                got: stripe.len(),
+            });
+        }
+        check_equal_lengths(stripe)?;
+        let red = self.encode(&stripe[..self.k])?;
+        Ok(red
+            .iter()
+            .zip(&stripe[self.k..])
+            .all(|(a, b)| a.as_slice() == b.as_ref()))
+    }
+}
+
+fn check_equal_lengths<B: AsRef<[u8]>>(blocks: &[B]) -> Result<usize, CodeError> {
+    let len = blocks.first().map_or(0, |b| b.as_ref().len());
+    if blocks.iter().any(|b| b.as_ref().len() != len) {
+        return Err(CodeError::LengthMismatch);
+    }
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..k)
+            .map(|_| (0..len).map(|_| rng.random()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn rejects_invalid_params() {
+        assert!(ReedSolomon::new(0, 4).is_err());
+        assert!(ReedSolomon::new(4, 4).is_err());
+        assert!(ReedSolomon::new(5, 4).is_err());
+        assert!(ReedSolomon::new(2, 257).is_err());
+        assert!(ReedSolomon::new(1, 2).is_ok());
+        assert!(ReedSolomon::new(16, 32).is_ok());
+    }
+
+    #[test]
+    fn encode_then_verify() {
+        let rs = ReedSolomon::new(3, 5).unwrap();
+        let data = random_data(3, 64, 1);
+        let stripe = rs.encode_stripe(&data).unwrap();
+        assert!(rs.verify_stripe(&stripe).unwrap());
+        // Corrupt one byte: verification fails.
+        let mut bad = stripe.clone();
+        bad[4][10] ^= 1;
+        assert!(!rs.verify_stripe(&bad).unwrap());
+    }
+
+    #[test]
+    fn decode_from_every_k_subset() {
+        let rs = ReedSolomon::new(3, 6).unwrap();
+        let data = random_data(3, 32, 2);
+        let stripe = rs.encode_stripe(&data).unwrap();
+        // All C(6,3) = 20 subsets must decode.
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    let shares: Vec<(usize, &[u8])> =
+                        vec![(a, &stripe[a][..]), (b, &stripe[b][..]), (c, &stripe[c][..])];
+                    assert_eq!(rs.decode(&shares).unwrap(), data, "subset {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_order_does_not_matter() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let data = random_data(2, 16, 3);
+        let stripe = rs.encode_stripe(&data).unwrap();
+        let fwd: Vec<(usize, &[u8])> = vec![(1, &stripe[1][..]), (3, &stripe[3][..])];
+        let rev: Vec<(usize, &[u8])> = vec![(3, &stripe[3][..]), (1, &stripe[1][..])];
+        assert_eq!(rs.decode(&fwd).unwrap(), rs.decode(&rev).unwrap());
+    }
+
+    #[test]
+    fn decode_rejects_bad_shares() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let b = [0u8; 8];
+        assert!(matches!(
+            rs.decode(&[(0, &b[..])]),
+            Err(CodeError::WrongBlockCount { .. })
+        ));
+        assert!(matches!(
+            rs.decode(&[(0, &b[..]), (0, &b[..])]),
+            Err(CodeError::DuplicateShare { .. })
+        ));
+        assert!(matches!(
+            rs.decode(&[(0, &b[..]), (9, &b[..])]),
+            Err(CodeError::IndexOutOfRange { .. })
+        ));
+        let short = [0u8; 4];
+        assert!(matches!(
+            rs.decode(&[(0, &b[..]), (1, &short[..])]),
+            Err(CodeError::LengthMismatch)
+        ));
+    }
+
+    #[test]
+    fn delta_update_equals_reencode() {
+        // The core algebraic fact behind the lock-free write (Fig. 3): after
+        // swapping block i and adding α·(v−w) at every redundant node, the
+        // stripe equals a fresh encoding of the new data.
+        let rs = ReedSolomon::new(4, 7).unwrap();
+        let mut data = random_data(4, 48, 4);
+        let mut stripe = rs.encode_stripe(&data).unwrap();
+
+        let new_block: Vec<u8> = (0..48).map(|x| (x * 37 % 251) as u8).collect();
+        let old = std::mem::replace(&mut data[2], new_block.clone());
+
+        // Apply the protocol's delta path.
+        stripe[2] = new_block.clone();
+        for j in 0..rs.p() {
+            let d = rs.delta(j, 2, &new_block, &old).unwrap();
+            ajx_gf::slice::add_assign(&mut stripe[rs.k() + j], &d);
+        }
+        assert_eq!(stripe, rs.encode_stripe(&data).unwrap());
+    }
+
+    #[test]
+    fn broadcast_delta_equals_per_node_delta() {
+        let rs = ReedSolomon::new(3, 6).unwrap();
+        let old = random_data(1, 32, 5).pop().unwrap();
+        let new = random_data(1, 32, 6).pop().unwrap();
+        let diff = rs.broadcast_delta(&new, &old).unwrap();
+        for j in 0..rs.p() {
+            assert_eq!(
+                rs.scale_broadcast_delta(j, 1, &diff),
+                rs.delta(j, 1, &new, &old).unwrap(),
+                "redundant node {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_interleaved_deltas_commute() {
+        // Fig. 3(C): two clients update different blocks concurrently; adds
+        // interleave arbitrarily at redundant nodes yet the stripe converges.
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let a0 = vec![10u8; 8];
+        let b0 = vec![20u8; 8];
+        let mut stripe = rs.encode_stripe(&[a0.clone(), b0.clone()]).unwrap();
+
+        let c = vec![33u8; 8]; // client 1: a -> c
+        let d = vec![44u8; 8]; // client 2: b -> d
+
+        let d1: Vec<Vec<u8>> = (0..2).map(|j| rs.delta(j, 0, &c, &a0).unwrap()).collect();
+        let d2: Vec<Vec<u8>> = (0..2).map(|j| rs.delta(j, 1, &d, &b0).unwrap()).collect();
+
+        stripe[0] = c.clone();
+        stripe[1] = d.clone();
+        // Interleave: node 2 sees client1 then client2; node 3 the reverse.
+        ajx_gf::slice::add_assign(&mut stripe[2], &d1[0]);
+        ajx_gf::slice::add_assign(&mut stripe[2], &d2[0]);
+        ajx_gf::slice::add_assign(&mut stripe[3], &d2[1]);
+        ajx_gf::slice::add_assign(&mut stripe[3], &d1[1]);
+
+        assert_eq!(stripe, rs.encode_stripe(&[c, d]).unwrap());
+    }
+
+    #[test]
+    fn empty_blocks_are_legal() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let stripe = rs.encode_stripe(&[vec![], vec![]]).unwrap();
+        assert!(stripe.iter().all(Vec::is_empty));
+        let shares: Vec<(usize, &[u8])> = vec![(2, &stripe[2][..]), (3, &stripe[3][..])];
+        assert_eq!(rs.decode(&shares).unwrap(), vec![vec![0u8; 0]; 2]);
+    }
+
+    #[test]
+    fn large_code_roundtrip() {
+        // The largest code used in the paper's simulations (§6.6).
+        let rs = ReedSolomon::new(16, 32).unwrap();
+        let data = random_data(16, 128, 7);
+        let stripe = rs.encode_stripe(&data).unwrap();
+        // Drop all 16 data blocks; recover purely from redundancy.
+        let shares: Vec<(usize, &[u8])> = (16..32).map(|i| (i, &stripe[i][..])).collect();
+        assert_eq!(rs.decode(&shares).unwrap(), data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_decode_any_subset(
+            seed in any::<u64>(),
+            k in 1usize..6,
+            extra in 1usize..5,
+            len in 1usize..40,
+        ) {
+            let n = k + extra;
+            let rs = ReedSolomon::new(k, n).unwrap();
+            let data = random_data(k, len, seed);
+            let stripe = rs.encode_stripe(&data).unwrap();
+
+            // Pick a pseudo-random k-subset of indices.
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xDEAD);
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.random_range(0..=i);
+                idx.swap(i, j);
+            }
+            idx.truncate(k);
+            let shares: Vec<(usize, &[u8])> = idx.iter().map(|&i| (i, &stripe[i][..])).collect();
+            prop_assert_eq!(rs.decode(&shares).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_delta_sequence_stays_consistent(
+            seed in any::<u64>(),
+            writes in proptest::collection::vec((0usize..4, any::<u8>()), 1..12),
+        ) {
+            let rs = ReedSolomon::new(4, 7).unwrap();
+            let mut data = random_data(4, 16, seed);
+            let mut stripe = rs.encode_stripe(&data).unwrap();
+            for (i, fill) in writes {
+                let new = vec![fill; 16];
+                let old = std::mem::replace(&mut data[i], new.clone());
+                stripe[i] = new.clone();
+                for j in 0..rs.p() {
+                    let d = rs.delta(j, i, &new, &old).unwrap();
+                    ajx_gf::slice::add_assign(&mut stripe[rs.k() + j], &d);
+                }
+            }
+            prop_assert!(rs.verify_stripe(&stripe).unwrap());
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for erasure-code operations.
+
+use core::fmt;
+
+/// Errors returned by code construction, encoding and decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeError {
+    /// The (k, n) pair does not satisfy `1 ≤ k < n ≤ 256`.
+    InvalidParams {
+        /// Requested data-block count.
+        k: usize,
+        /// Requested total-block count.
+        n: usize,
+    },
+    /// The number of blocks passed differs from what the operation needs.
+    WrongBlockCount {
+        /// How many blocks the operation requires.
+        expected: usize,
+        /// How many were supplied.
+        got: usize,
+    },
+    /// Blocks in one call have different lengths.
+    LengthMismatch,
+    /// A share index is not in `0..n`.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The stripe width.
+        n: usize,
+    },
+    /// The same share index was supplied twice.
+    DuplicateShare {
+        /// The duplicated index.
+        index: usize,
+    },
+    /// The selected shares do not form an invertible system.
+    ///
+    /// For an MDS code with distinct share indices this cannot happen; it is
+    /// kept as an error rather than a panic so that generic (possibly
+    /// non-MDS) codes built with [`crate::LinearCode`] degrade gracefully.
+    NotDecodable,
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidParams { k, n } => {
+                write!(f, "invalid code parameters k={k}, n={n} (need 1 <= k < n <= 256)")
+            }
+            CodeError::WrongBlockCount { expected, got } => {
+                write!(f, "expected {expected} blocks, got {got}")
+            }
+            CodeError::LengthMismatch => write!(f, "blocks have mismatched lengths"),
+            CodeError::IndexOutOfRange { index, n } => {
+                write!(f, "share index {index} out of range for stripe of {n} blocks")
+            }
+            CodeError::DuplicateShare { index } => {
+                write!(f, "share index {index} supplied more than once")
+            }
+            CodeError::NotDecodable => {
+                write!(f, "selected shares do not determine the data blocks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            CodeError::InvalidParams { k: 4, n: 4 }.to_string(),
+            CodeError::WrongBlockCount { expected: 3, got: 1 }.to_string(),
+            CodeError::LengthMismatch.to_string(),
+            CodeError::IndexOutOfRange { index: 9, n: 4 }.to_string(),
+            CodeError::DuplicateShare { index: 2 }.to_string(),
+            CodeError::NotDecodable.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(CodeError::LengthMismatch);
+        assert_eq!(e.to_string(), "blocks have mismatched lengths");
+    }
+}

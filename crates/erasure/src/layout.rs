@@ -1,0 +1,217 @@
+//! Stripe layout: mapping an application's flat logical block space onto
+//! (stripe, in-stripe index, storage node) triples.
+//!
+//! §3.11 of the paper: "consecutive blocks are mapped to different storage
+//! nodes and different stripes, and the redundant blocks rotate with each
+//! stripe, thus avoiding bottlenecks." This module implements exactly that
+//! rotation and hides it from applications (§2: "we prefer that all
+//! peculiarities of erasure codes be hidden from applications").
+
+use core::fmt;
+
+/// A logical node index in `0..n` (the paper's `S_1..S_n`, zero-based here).
+pub type NodeIndex = usize;
+
+/// Where one logical block lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Placement {
+    /// Which stripe the block belongs to.
+    pub stripe: u64,
+    /// The block's index within its stripe (`0..k`: it is a data block).
+    pub index: usize,
+    /// The storage node holding it under the rotated layout.
+    pub node: NodeIndex,
+}
+
+/// The role a node plays in a particular stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Holds data block `i` of the stripe.
+    Data(usize),
+    /// Holds redundant block `j` (the stripe's block `k + j`).
+    Redundant(usize),
+}
+
+/// Rotated stripe layout for a k-of-n code over n storage nodes.
+///
+/// Stripe `s` assigns in-stripe block `t` (data for `t < k`, redundant
+/// otherwise) to node `(t + s) mod n`. Consecutive logical blocks land on
+/// consecutive nodes, and the parity role advances by one node per stripe —
+/// the classic RAID-5-style rotation generalized to `p` parity blocks.
+///
+/// # Example
+///
+/// ```
+/// use ajx_erasure::{StripeLayout, Role};
+///
+/// let layout = StripeLayout::new(3, 5).unwrap();
+/// // Logical blocks 0,1,2 form stripe 0 on nodes 0,1,2; parity on 3,4.
+/// assert_eq!(layout.locate(0).node, 0);
+/// assert_eq!(layout.locate(3).stripe, 1); // next stripe...
+/// assert_eq!(layout.locate(3).node, 1);   // ...rotated by one node
+/// assert_eq!(layout.role_of(0, 3), Some(Role::Redundant(0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeLayout {
+    k: usize,
+    n: usize,
+}
+
+impl StripeLayout {
+    /// Creates a layout for a k-of-n code; `None` unless `1 ≤ k < n`.
+    pub fn new(k: usize, n: usize) -> Option<Self> {
+        if k == 0 || k >= n {
+            None
+        } else {
+            Some(StripeLayout { k, n })
+        }
+    }
+
+    /// Data blocks per stripe.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total blocks per stripe (= number of storage nodes).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Locates logical block `lb`.
+    pub fn locate(&self, lb: u64) -> Placement {
+        let stripe = lb / self.k as u64;
+        let index = (lb % self.k as u64) as usize;
+        Placement {
+            stripe,
+            index,
+            node: self.node_for(stripe, index),
+        }
+    }
+
+    /// The node holding in-stripe block `t` (`0..n`) of stripe `s`.
+    pub fn node_for(&self, stripe: u64, t: usize) -> NodeIndex {
+        debug_assert!(t < self.n);
+        ((t as u64 + stripe) % self.n as u64) as NodeIndex
+    }
+
+    /// The nodes holding the `p` redundant blocks of `stripe`, in redundant
+    /// index order `0..p`.
+    pub fn redundant_nodes(&self, stripe: u64) -> Vec<NodeIndex> {
+        (self.k..self.n).map(|t| self.node_for(stripe, t)).collect()
+    }
+
+    /// The role `node` plays in `stripe`, or `None` if `node ≥ n`.
+    pub fn role_of(&self, stripe: u64, node: NodeIndex) -> Option<Role> {
+        if node >= self.n {
+            return None;
+        }
+        // Invert node_for: t = (node - stripe) mod n.
+        let t = ((node as u64 + self.n as u64 - stripe % self.n as u64) % self.n as u64) as usize;
+        Some(if t < self.k {
+            Role::Data(t)
+        } else {
+            Role::Redundant(t - self.k)
+        })
+    }
+
+    /// The logical block stored as data index `i` of `stripe`.
+    pub fn logical_block(&self, stripe: u64, i: usize) -> u64 {
+        debug_assert!(i < self.k);
+        stripe * self.k as u64 + i as u64
+    }
+}
+
+impl fmt::Display for StripeLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-of-{} rotated layout", self.k, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(StripeLayout::new(0, 4).is_none());
+        assert!(StripeLayout::new(4, 4).is_none());
+        assert!(StripeLayout::new(5, 4).is_none());
+        assert!(StripeLayout::new(1, 2).is_some());
+    }
+
+    #[test]
+    fn roles_partition_each_stripe() {
+        let layout = StripeLayout::new(3, 5).unwrap();
+        for stripe in 0..20u64 {
+            let mut data_seen = vec![false; 3];
+            let mut red_seen = vec![false; 2];
+            for node in 0..5 {
+                match layout.role_of(stripe, node).unwrap() {
+                    Role::Data(i) => {
+                        assert!(!data_seen[i]);
+                        data_seen[i] = true;
+                    }
+                    Role::Redundant(j) => {
+                        assert!(!red_seen[j]);
+                        red_seen[j] = true;
+                    }
+                }
+            }
+            assert!(data_seen.into_iter().all(|b| b));
+            assert!(red_seen.into_iter().all(|b| b));
+        }
+    }
+
+    #[test]
+    fn consecutive_blocks_hit_distinct_nodes() {
+        // §3.11: sequential I/O must spread across nodes. Check that any n
+        // consecutive logical blocks touch n distinct (node, stripe) pairs
+        // and that within a stripe nodes are distinct.
+        let layout = StripeLayout::new(4, 6).unwrap();
+        for base in 0..30u64 {
+            let window: Vec<_> = (base..base + 4).map(|lb| layout.locate(lb)).collect();
+            for w in window.windows(2) {
+                assert_ne!(w[0].node, w[1].node, "adjacent blocks on same node");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_rotates_across_stripes() {
+        let layout = StripeLayout::new(2, 4).unwrap();
+        let r0 = layout.redundant_nodes(0);
+        let r1 = layout.redundant_nodes(1);
+        let r4 = layout.redundant_nodes(4);
+        assert_eq!(r0, vec![2, 3]);
+        assert_eq!(r1, vec![3, 0]);
+        assert_eq!(r4, r0, "rotation has period n");
+    }
+
+    #[test]
+    fn role_of_out_of_range_node_is_none() {
+        let layout = StripeLayout::new(2, 4).unwrap();
+        assert_eq!(layout.role_of(0, 4), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_locate_role_agree(k in 1usize..8, extra in 1usize..8, lb in 0u64..10_000) {
+            let n = k + extra;
+            let layout = StripeLayout::new(k, n).unwrap();
+            let p = layout.locate(lb);
+            prop_assert_eq!(layout.role_of(p.stripe, p.node), Some(Role::Data(p.index)));
+            prop_assert_eq!(layout.logical_block(p.stripe, p.index), lb);
+        }
+
+        #[test]
+        fn prop_node_for_is_bijective_per_stripe(k in 1usize..8, extra in 1usize..8, stripe in 0u64..1000) {
+            let n = k + extra;
+            let layout = StripeLayout::new(k, n).unwrap();
+            let mut nodes: Vec<_> = (0..n).map(|t| layout.node_for(stripe, t)).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            prop_assert_eq!(nodes.len(), n);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Systematic MDS erasure codes with incremental updates.
+//!
+//! This crate implements the erasure-code layer of the AJX reproduction
+//! (*Using Erasure Codes Efficiently for Storage in a Distributed System*,
+//! DSN 2005):
+//!
+//! * [`ReedSolomon`] — k-of-n systematic Reed-Solomon codes over GF(2⁸)
+//!   with full encode, decode from *any* k blocks, and the **delta updates**
+//!   (`α_ji · (v − w)`) that let the protocol update redundancy with
+//!   commutative adds and no locks (paper Fig. 3).
+//! * [`LinearCode`] — the same machinery over any field, capturing the class
+//!   of codes the protocol supports ("linear erasure codes ... where
+//!   redundant blocks are updated with commutative operations", §1);
+//!   [`toy_2_of_4`] instantiates the paper's §3.3 `(a, b, a+b, a−b)` example.
+//! * [`StripeLayout`] — the §3.11 rotated placement of stripes over storage
+//!   nodes that spreads parity load and keeps sequential I/O on distinct
+//!   nodes.
+//! * [`Matrix`] — the small dense linear algebra (Vandermonde, Gauss-Jordan)
+//!   behind the code constructions.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ajx_erasure::ReedSolomon;
+//!
+//! # fn main() -> Result<(), ajx_erasure::CodeError> {
+//! // A highly-efficient code in the paper's sense: large k, small n − k.
+//! let rs = ReedSolomon::new(10, 12)?;
+//! let data: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 1024]).collect();
+//! let stripe = rs.encode_stripe(&data)?;
+//!
+//! // Any 10 of the 12 blocks recover everything:
+//! let shares: Vec<(usize, &[u8])> =
+//!     (2..12).map(|i| (i, &stripe[i][..])).collect();
+//! assert_eq!(rs.decode(&shares)?, data);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod code;
+mod error;
+mod layout;
+mod linear;
+mod matrix;
+mod wide;
+
+pub use code::{ReedSolomon, MAX_N};
+pub use error::CodeError;
+pub use layout::{NodeIndex, Placement, Role, StripeLayout};
+pub use linear::{toy_2_of_4, LinearCode};
+pub use matrix::Matrix;
+pub use wide::{WideReedSolomon, MAX_N_WIDE};

@@ -1,0 +1,296 @@
+//! Generic linear erasure codes over any [`Field`].
+//!
+//! The AJX protocol is "tailored for linear erasure codes, like Reed-Solomon
+//! codes, where redundant blocks are updated with commutative operations"
+//! (§1, limitations). This module captures that class abstractly: a code is
+//! a `p × k` coefficient matrix, and everything the protocol needs —
+//! encode, decode-from-any-k-ish subset, delta updates — follows from
+//! linearity alone. [`crate::ReedSolomon`] is the production instance over
+//! GF(2⁸); [`toy_2_of_4`] is the paper's §3.3 teaching example over GF(257).
+
+use crate::error::CodeError;
+use crate::matrix::Matrix;
+use ajx_gf::{Field, Gf257};
+
+/// A linear systematic code over field `F`, defined by its redundancy
+/// coefficient matrix `α` (`p` rows × `k` columns): redundant symbol `j`
+/// is `Σ_i α[j][i] · data[i]`.
+///
+/// Unlike [`crate::ReedSolomon`] this type does not promise MDS-ness; decode
+/// reports [`CodeError::NotDecodable`] if the chosen share subset is
+/// singular. Blocks are vectors of field elements, making it usable over
+/// fields (like GF(257)) whose elements are not bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearCode<F> {
+    k: usize,
+    n: usize,
+    alpha: Matrix<F>,
+}
+
+impl<F: Field> LinearCode<F> {
+    /// Builds a code from its redundancy coefficient rows.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::InvalidParams`] if `k` is zero or there are no rows.
+    pub fn from_coefficients(alpha: Matrix<F>) -> Result<Self, CodeError> {
+        let k = alpha.cols();
+        let p = alpha.rows();
+        if k == 0 || p == 0 {
+            return Err(CodeError::InvalidParams { k, n: k + p });
+        }
+        Ok(LinearCode { k, n: k + p, alpha })
+    }
+
+    /// Number of data symbols per stripe.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total symbols per stripe.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The coefficient `α_ji` of data symbol `i` in redundant symbol `j`.
+    pub fn coefficient(&self, j: usize, i: usize) -> F {
+        self.alpha[(j, i)]
+    }
+
+    /// Encodes `data` (k blocks of equal length) into `p` redundant blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::WrongBlockCount`] / [`CodeError::LengthMismatch`] on
+    /// malformed input.
+    pub fn encode(&self, data: &[Vec<F>]) -> Result<Vec<Vec<F>>, CodeError> {
+        if data.len() != self.k {
+            return Err(CodeError::WrongBlockCount {
+                expected: self.k,
+                got: data.len(),
+            });
+        }
+        let len = equal_lengths(data)?;
+        let p = self.n - self.k;
+        let mut out = vec![vec![F::ZERO; len]; p];
+        for (j, red) in out.iter_mut().enumerate() {
+            for (i, d) in data.iter().enumerate() {
+                let c = self.alpha[(j, i)];
+                for (o, &x) in red.iter_mut().zip(d) {
+                    *o = *o + c * x;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Encodes the full stripe (data followed by redundancy).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearCode::encode`].
+    pub fn encode_stripe(&self, data: &[Vec<F>]) -> Result<Vec<Vec<F>>, CodeError> {
+        let mut stripe = data.to_vec();
+        stripe.extend(self.encode(data)?);
+        Ok(stripe)
+    }
+
+    /// Decodes the data symbols from `k` distinct shares.
+    ///
+    /// # Errors
+    ///
+    /// Share-validation errors as in [`crate::ReedSolomon::decode`], plus
+    /// [`CodeError::NotDecodable`] if this subset is singular (possible for
+    /// non-MDS coefficient choices).
+    pub fn decode(&self, shares: &[(usize, Vec<F>)]) -> Result<Vec<Vec<F>>, CodeError> {
+        if shares.len() != self.k {
+            return Err(CodeError::WrongBlockCount {
+                expected: self.k,
+                got: shares.len(),
+            });
+        }
+        let mut seen = vec![false; self.n];
+        for &(idx, _) in shares {
+            if idx >= self.n {
+                return Err(CodeError::IndexOutOfRange { index: idx, n: self.n });
+            }
+            if seen[idx] {
+                return Err(CodeError::DuplicateShare { index: idx });
+            }
+            seen[idx] = true;
+        }
+        let blocks: Vec<&Vec<F>> = shares.iter().map(|(_, b)| b).collect();
+        let len = equal_lengths(&blocks)?;
+
+        let rows: Vec<Vec<F>> = shares
+            .iter()
+            .map(|&(idx, _)| {
+                if idx < self.k {
+                    let mut row = vec![F::ZERO; self.k];
+                    row[idx] = F::ONE;
+                    row
+                } else {
+                    self.alpha.row(idx - self.k).to_vec()
+                }
+            })
+            .collect();
+        let inv = Matrix::from_rows(rows)
+            .inverted()
+            .ok_or(CodeError::NotDecodable)?;
+
+        let mut data = vec![vec![F::ZERO; len]; self.k];
+        for (i, out) in data.iter_mut().enumerate() {
+            for (s, (_, share)) in shares.iter().enumerate() {
+                let c = inv[(i, s)];
+                if c.is_zero() {
+                    continue;
+                }
+                for (o, &x) in out.iter_mut().zip(share) {
+                    *o = *o + c * x;
+                }
+            }
+        }
+        Ok(data)
+    }
+
+    /// The delta `α_ji · (new − old)` a redundant node must *add* when data
+    /// symbol-block `i` changes — linearity makes these adds commute across
+    /// concurrent writers, the key insight of Fig. 3.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::LengthMismatch`] if `new` and `old` differ in length.
+    pub fn delta(&self, j: usize, i: usize, new: &[F], old: &[F]) -> Result<Vec<F>, CodeError> {
+        if new.len() != old.len() {
+            return Err(CodeError::LengthMismatch);
+        }
+        let c = self.alpha[(j, i)];
+        Ok(new
+            .iter()
+            .zip(old)
+            .map(|(&v, &w)| c * (v - w))
+            .collect())
+    }
+}
+
+fn equal_lengths<F, B: AsRef<[F]>>(blocks: &[B]) -> Result<usize, CodeError> {
+    let len = blocks.first().map_or(0, |b| b.as_ref().len());
+    if blocks.iter().any(|b| b.as_ref().len() != len) {
+        return Err(CodeError::LengthMismatch);
+    }
+    Ok(len)
+}
+
+/// The paper's §3.3 teaching code: stripe `(a, b, a+b, a−b)` over GF(257).
+///
+/// A 2-of-4 MDS code in a field of characteristic ≠ 2 (the paper's footnote:
+/// "+ and − must be taken over a field with characteristic ≠ 2").
+///
+/// # Example
+///
+/// ```
+/// use ajx_erasure::toy_2_of_4;
+/// use ajx_gf::{Field, Gf257};
+///
+/// let code = toy_2_of_4();
+/// let a: Vec<Gf257> = vec![Gf257::from_u64(7)];
+/// let b: Vec<Gf257> = vec![Gf257::from_u64(5)];
+/// let stripe = code.encode_stripe(&[a.clone(), b]).unwrap();
+/// assert_eq!(stripe[2][0].to_u64(), 12); // a + b
+/// assert_eq!(stripe[3][0].to_u64(), 2);  // a - b
+/// // Lose both data blocks; recover from (a+b, a−b) alone.
+/// let data = code.decode(&[(2, stripe[2].clone()), (3, stripe[3].clone())]).unwrap();
+/// assert_eq!(data[0], a);
+/// ```
+pub fn toy_2_of_4() -> LinearCode<Gf257> {
+    let one = Gf257::ONE;
+    let alpha = Matrix::from_rows(vec![
+        vec![one, one],  // a + b
+        vec![one, -one], // a - b
+    ]);
+    LinearCode::from_coefficients(alpha).expect("valid 2x2 coefficients")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajx_gf::Gf257;
+
+    fn elems(vals: &[u64]) -> Vec<Gf257> {
+        vals.iter().map(|&v| Gf257::from_u64(v)).collect()
+    }
+
+    #[test]
+    fn toy_code_recovers_from_every_pair() {
+        let code = toy_2_of_4();
+        let a = elems(&[10, 250, 3]);
+        let b = elems(&[200, 100, 256]);
+        let stripe = code.encode_stripe(&[a.clone(), b.clone()]).unwrap();
+        for x in 0..4 {
+            for y in (x + 1)..4 {
+                let got = code
+                    .decode(&[(x, stripe[x].clone()), (y, stripe[y].clone())])
+                    .unwrap();
+                assert_eq!(got, vec![a.clone(), b.clone()], "pair {x},{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn toy_code_beats_replication() {
+        // The paper's §3.3 point: replicate (a, b, a, b) and losing both
+        // copies of `a` is fatal; the toy code survives losing blocks 0 and 2
+        // (both of which involve `a`).
+        let code = toy_2_of_4();
+        let a = elems(&[42]);
+        let b = elems(&[17]);
+        let stripe = code.encode_stripe(&[a.clone(), b]).unwrap();
+        let got = code
+            .decode(&[(1, stripe[1].clone()), (3, stripe[3].clone())])
+            .unwrap();
+        assert_eq!(got[0], a);
+    }
+
+    #[test]
+    fn delta_update_matches_reencode() {
+        let code = toy_2_of_4();
+        let a = elems(&[1, 2]);
+        let b = elems(&[3, 4]);
+        let mut stripe = code.encode_stripe(&[a.clone(), b.clone()]).unwrap();
+        let c = elems(&[100, 200]);
+        for j in 0..2 {
+            let d = code.delta(j, 0, &c, &a).unwrap();
+            for (s, dd) in stripe[2 + j].iter_mut().zip(d) {
+                *s += dd;
+            }
+        }
+        stripe[0] = c.clone();
+        assert_eq!(stripe, code.encode_stripe(&[c, b]).unwrap());
+    }
+
+    #[test]
+    fn non_mds_code_reports_not_decodable() {
+        // Redundant row (1, 0) duplicates data symbol 0: the subset
+        // {data0, red0} is singular.
+        let alpha = Matrix::from_rows(vec![vec![Gf257::ONE, Gf257::ZERO]]);
+        let code = LinearCode::from_coefficients(alpha).unwrap();
+        let stripe = code
+            .encode_stripe(&[elems(&[5]), elems(&[6])])
+            .unwrap();
+        let err = code
+            .decode(&[(0, stripe[0].clone()), (2, stripe[2].clone())])
+            .unwrap_err();
+        assert_eq!(err, CodeError::NotDecodable);
+        // But {data1, red0} works.
+        let ok = code
+            .decode(&[(1, stripe[1].clone()), (2, stripe[2].clone())])
+            .unwrap();
+        assert_eq!(ok, vec![elems(&[5]), elems(&[6])]);
+    }
+
+    #[test]
+    fn rejects_empty_coefficients() {
+        let alpha = Matrix::<Gf257>::zero(0, 0);
+        assert!(LinearCode::from_coefficients(alpha).is_err());
+    }
+}

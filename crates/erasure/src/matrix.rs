@@ -1,0 +1,375 @@
+//! Dense matrices over a generic [`Field`], sized for erasure-code work
+//! (n ≤ a few hundred). Provides the Vandermonde construction and
+//! Gauss-Jordan inversion needed to build systematic generator matrices and
+//! to decode from an arbitrary k-subset of blocks.
+
+use ajx_gf::Field;
+use core::fmt;
+
+/// A dense row-major matrix over the field `F`.
+///
+/// # Example
+///
+/// ```
+/// use ajx_erasure::Matrix;
+/// use ajx_gf::{Field, Gf256};
+///
+/// let m = Matrix::<Gf256>::vandermonde(3, 3);
+/// let inv = m.inverted().expect("vandermonde on distinct points is invertible");
+/// assert_eq!(m.mul(&inv), Matrix::identity(3));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix<F> {
+    rows: usize,
+    cols: usize,
+    data: Vec<F>,
+}
+
+impl<F: Field> Matrix<F> {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![F::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = F::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major nested vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are not all the same length.
+    pub fn from_rows(rows: Vec<Vec<F>>) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(
+            rows.iter().all(|row| row.len() == c),
+            "all rows must have equal length"
+        );
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.into_iter().flatten().collect(),
+        }
+    }
+
+    /// The `rows × cols` Vandermonde matrix on the evaluation points
+    /// `x_i = from_u64(i)`: entry `(i, j) = x_i^j`.
+    ///
+    /// For `rows ≤ F::ORDER` the points are pairwise distinct, so every
+    /// square submatrix formed by choosing any `cols` rows is invertible —
+    /// the property that makes the derived code MDS.
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows <= F::ORDER,
+            "vandermonde needs at most {} distinct points",
+            F::ORDER
+        );
+        let mut m = Self::zero(rows, cols);
+        for i in 0..rows {
+            let x = F::from_u64(i as u64);
+            let mut p = F::ONE;
+            for j in 0..cols {
+                m[(i, j)] = p;
+                p = p * x;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// A borrowed view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &[F] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns a new matrix made of the given rows of `self`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let rows = indices.iter().map(|&i| self.row(i).to_vec()).collect();
+        Self::from_rows(rows)
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree for multiplication"
+        );
+        let mut out = Self::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self[(i, l)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let prod = a * rhs[(l, j)];
+                    out[(i, j)] = out[(i, j)] + prod;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[F]) -> Vec<F> {
+        assert_eq!(v.len(), self.cols, "vector length must equal column count");
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v)
+                    .fold(F::ZERO, |acc, (&a, &x)| acc + a * x)
+            })
+            .collect()
+    }
+
+    /// The inverse, computed by Gauss-Jordan elimination with partial
+    /// pivoting (any nonzero pivot works in a field), or `None` if the
+    /// matrix is singular or not square.
+    pub fn inverted(&self) -> Option<Self> {
+        if self.rows != self.cols {
+            return None;
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Self::identity(n);
+        for col in 0..n {
+            // Find a row at or below `col` with a nonzero pivot.
+            let pivot = (col..n).find(|&r| !a[(r, col)].is_zero())?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            let p_inv = a[(col, col)].inv()?;
+            a.scale_row(col, p_inv);
+            inv.scale_row(col, p_inv);
+            for r in 0..n {
+                if r != col && !a[(r, col)].is_zero() {
+                    let factor = a[(r, col)];
+                    a.sub_scaled_row(r, col, factor);
+                    inv.sub_scaled_row(r, col, factor);
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Rank via Gaussian elimination (used in tests to verify MDS-ness).
+    pub fn rank(&self) -> usize {
+        let mut a = self.clone();
+        let mut rank = 0;
+        for col in 0..a.cols {
+            if rank == a.rows {
+                break;
+            }
+            let Some(pivot) = (rank..a.rows).find(|&r| !a[(r, col)].is_zero()) else {
+                continue;
+            };
+            a.swap_rows(pivot, rank);
+            let p_inv = a[(rank, col)].inv().expect("nonzero pivot");
+            a.scale_row(rank, p_inv);
+            for r in 0..a.rows {
+                if r != rank && !a[(r, col)].is_zero() {
+                    let factor = a[(r, col)];
+                    a.sub_scaled_row(r, rank, factor);
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
+    fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(r1 * self.cols + j, r2 * self.cols + j);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, c: F) {
+        for j in 0..self.cols {
+            let v = self[(r, j)] * c;
+            self[(r, j)] = v;
+        }
+    }
+
+    /// row[dst] -= factor * row[src]
+    fn sub_scaled_row(&mut self, dst: usize, src: usize, factor: F) {
+        for j in 0..self.cols {
+            let v = self[(dst, j)] - factor * self[(src, j)];
+            self[(dst, j)] = v;
+        }
+    }
+}
+
+impl<F> core::ops::Index<(usize, usize)> for Matrix<F> {
+    type Output = F;
+    fn index(&self, (r, c): (usize, usize)) -> &F {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<F> core::ops::IndexMut<(usize, usize)> for Matrix<F> {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut F {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<F: fmt::Debug> fmt::Debug for Matrix<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:?} ", self.data[i * self.cols + j])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajx_gf::{Gf256, Gf257};
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let v = Matrix::<Gf256>::vandermonde(4, 4);
+        let id = Matrix::identity(4);
+        assert_eq!(v.mul(&id), v);
+        assert_eq!(id.mul(&v), v);
+    }
+
+    #[test]
+    fn vandermonde_inverts() {
+        for n in 1..=8 {
+            let v = Matrix::<Gf256>::vandermonde(n, n);
+            let inv = v.inverted().expect("square vandermonde invertible");
+            assert_eq!(v.mul(&inv), Matrix::identity(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn vandermonde_any_k_rows_invertible() {
+        // The MDS-enabling property: choose any k of n rows, still invertible.
+        let k = 3;
+        let n = 6;
+        let v = Matrix::<Gf256>::vandermonde(n, k);
+        // All C(6,3) = 20 subsets.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    let sub = v.select_rows(&[a, b, c]);
+                    assert!(
+                        sub.inverted().is_some(),
+                        "rows {a},{b},{c} should be invertible"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let m = Matrix::from_rows(vec![
+            vec![Gf256::new(1), Gf256::new(2)],
+            vec![Gf256::new(1), Gf256::new(2)],
+        ]);
+        assert!(m.inverted().is_none());
+        assert_eq!(m.rank(), 1);
+    }
+
+    #[test]
+    fn non_square_inversion_is_none() {
+        let m = Matrix::<Gf256>::vandermonde(3, 2);
+        assert!(m.inverted().is_none());
+    }
+
+    #[test]
+    fn rank_of_vandermonde_is_full() {
+        let m = Matrix::<Gf256>::vandermonde(6, 4);
+        assert_eq!(m.rank(), 4);
+        let id = Matrix::<Gf257>::identity(5);
+        assert_eq!(id.rank(), 5);
+        assert_eq!(Matrix::<Gf256>::zero(3, 3).rank(), 0);
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let m = Matrix::<Gf256>::vandermonde(3, 3);
+        let v = vec![Gf256::new(9), Gf256::new(27), Gf256::new(99)];
+        let as_col = Matrix::from_rows(v.iter().map(|&x| vec![x]).collect());
+        let prod = m.mul(&as_col);
+        let prod_vec = m.mul_vec(&v);
+        for i in 0..3 {
+            assert_eq!(prod[(i, 0)], prod_vec[i]);
+        }
+    }
+
+    #[test]
+    fn works_over_prime_field_too() {
+        let v = Matrix::<Gf257>::vandermonde(5, 5);
+        let inv = v.inverted().unwrap();
+        assert_eq!(v.mul(&inv), Matrix::identity(5));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_inverse_round_trips(seed in any::<u64>(), n in 1usize..6) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let rows: Vec<Vec<Gf256>> = (0..n)
+                .map(|_| (0..n).map(|_| Gf256::new(rng.random())).collect())
+                .collect();
+            let m = Matrix::from_rows(rows);
+            if let Some(inv) = m.inverted() {
+                prop_assert_eq!(m.mul(&inv), Matrix::identity(n));
+                prop_assert_eq!(inv.mul(&m), Matrix::identity(n));
+            } else {
+                prop_assert!(m.rank() < n, "inversion failed only for rank-deficient");
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Bulk GF(2⁸) kernels over byte slices.
+//!
+//! Every block operation in the protocol reduces to one of three kernels:
+//!
+//! * [`add_assign`] — `dst ^= src`, the storage node's *Add* (Fig. 5 line 40);
+//! * [`mul_assign`] — `dst = c·dst`, used during decode back-substitution;
+//! * [`mul_add_assign`] — `dst ^= c·src`, the client's *Delta* step
+//!   (α_ji·(v−w) in Fig. 5 line 10) and the inner loop of full encode/decode.
+//!
+//! The multiply kernels build a 256-entry product table per coefficient and
+//! then stream the slice through it; this is the "hand optimized code for
+//! field arithmetic" of §5.1 and the source of the 10-20× speedup over
+//! textbook shift-and-add reported in §6.1 (see `benches/ec_kernels.rs`).
+//!
+//! All kernels operate on plain `&[u8]`/`&mut [u8]` so callers never pay for
+//! a `Gf256` wrapper per byte.
+
+use crate::gf256::Gf256;
+
+/// `dst[i] ^= src[i]` for all `i` — field addition of two blocks.
+///
+/// This is the entire work a storage node does to apply an `add` RPC, which
+/// is why the paper can use "thin" storage nodes.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn add_assign(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "add_assign requires equal-length blocks"
+    );
+    // Process in word-sized chunks for throughput; the tail is handled
+    // byte-wise. chunks_exact lets the compiler autovectorize.
+    let (dst_chunks, dst_tail) = split_words_mut(dst);
+    let (src_chunks, src_tail) = split_words(src);
+    for (d, s) in dst_chunks.iter_mut().zip(src_chunks) {
+        *d ^= *s;
+    }
+    for (d, s) in dst_tail.iter_mut().zip(src_tail) {
+        *d ^= *s;
+    }
+}
+
+/// `dst[i] = xor of all srcs[j][i]` — sums any number of blocks into `dst`.
+///
+/// # Panics
+///
+/// Panics if any source length differs from `dst`.
+pub fn sum_into(dst: &mut [u8], srcs: &[&[u8]]) {
+    dst.fill(0);
+    for src in srcs {
+        add_assign(dst, src);
+    }
+}
+
+/// `dst[i] = c · dst[i]` — scales a block by a field constant.
+///
+/// # Panics
+///
+/// Never panics; `c = 0` zeroes the block, `c = 1` is a no-op.
+#[inline]
+pub fn mul_assign(dst: &mut [u8], c: u8) {
+    match c {
+        0 => dst.fill(0),
+        1 => {}
+        _ => {
+            let mut table = [0u8; 256];
+            Gf256::build_mul_table(c, &mut table);
+            for b in dst.iter_mut() {
+                *b = table[*b as usize];
+            }
+        }
+    }
+}
+
+/// `dst[i] ^= c · src[i]` — the multiply-accumulate at the heart of encode,
+/// decode and delta updates.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn mul_add_assign(dst: &mut [u8], c: u8, src: &[u8]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "mul_add_assign requires equal-length blocks"
+    );
+    match c {
+        0 => {}
+        1 => add_assign(dst, src),
+        _ => {
+            let mut table = [0u8; 256];
+            Gf256::build_mul_table(c, &mut table);
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= table[*s as usize];
+            }
+        }
+    }
+}
+
+/// `out[i] = c · (a[i] ^ b[i])` — fused "subtract then scale", the client's
+/// *Delta* computation `α·(v − w)` done in one pass without a temporary.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+#[inline]
+pub fn delta_into(out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
+    assert_eq!(a.len(), b.len(), "delta_into requires equal-length blocks");
+    assert_eq!(out.len(), a.len(), "delta_into requires equal-length blocks");
+    match c {
+        0 => out.fill(0),
+        1 => {
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                *o = x ^ y;
+            }
+        }
+        _ => {
+            let mut table = [0u8; 256];
+            Gf256::build_mul_table(c, &mut table);
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                *o = table[(x ^ y) as usize];
+            }
+        }
+    }
+}
+
+fn split_words(s: &[u8]) -> (&[u8], &[u8]) {
+    let mid = s.len() - s.len() % 8;
+    s.split_at(mid)
+}
+
+fn split_words_mut(s: &mut [u8]) -> (&mut [u8], &mut [u8]) {
+    let mid = s.len() - s.len() % 8;
+    s.split_at_mut(mid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::textbook;
+    use proptest::prelude::*;
+
+    #[test]
+    fn add_assign_is_xor() {
+        let mut a = vec![0xF0u8; 20];
+        let b = vec![0x0Fu8; 20];
+        add_assign(&mut a, &b);
+        assert!(a.iter().all(|&x| x == 0xFF));
+        // Adding twice cancels (characteristic 2).
+        add_assign(&mut a, &b);
+        assert!(a.iter().all(|&x| x == 0xF0));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn add_assign_rejects_length_mismatch() {
+        let mut a = vec![0u8; 4];
+        add_assign(&mut a, &[0u8; 5]);
+    }
+
+    #[test]
+    fn mul_assign_special_cases() {
+        let mut a = vec![7u8, 8, 9];
+        mul_assign(&mut a, 1);
+        assert_eq!(a, vec![7, 8, 9]);
+        mul_assign(&mut a, 0);
+        assert_eq!(a, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn sum_into_sums_all_sources() {
+        let a = [1u8, 2, 3];
+        let b = [4u8, 5, 6];
+        let c = [7u8, 8, 9];
+        let mut out = [0xAAu8; 3];
+        sum_into(&mut out, &[&a, &b, &c]);
+        for i in 0..3 {
+            assert_eq!(out[i], a[i] ^ b[i] ^ c[i]);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_add_matches_scalar(
+            c in any::<u8>(),
+            data in proptest::collection::vec(any::<u8>(), 0..100),
+            src in proptest::collection::vec(any::<u8>(), 0..100),
+        ) {
+            let n = data.len().min(src.len());
+            let mut dst = data[..n].to_vec();
+            mul_add_assign(&mut dst, c, &src[..n]);
+            for i in 0..n {
+                prop_assert_eq!(dst[i], data[i] ^ textbook::mul(c, src[i]));
+            }
+        }
+
+        #[test]
+        fn prop_delta_fused_equals_two_step(
+            c in any::<u8>(),
+            a in proptest::collection::vec(any::<u8>(), 1..64),
+        ) {
+            let b: Vec<u8> = a.iter().map(|x| x.wrapping_mul(31).wrapping_add(7)).collect();
+            let mut fused = vec![0u8; a.len()];
+            delta_into(&mut fused, c, &a, &b);
+
+            let mut two_step: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+            mul_assign(&mut two_step, c);
+            prop_assert_eq!(fused, two_step);
+        }
+
+        #[test]
+        fn prop_mul_assign_then_inverse_round_trips(
+            c in 1..=255u8,
+            mut data in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            use crate::{Field, Gf256};
+            let original = data.clone();
+            mul_assign(&mut data, c);
+            let inv = Gf256::new(c).inv().unwrap().as_byte();
+            mul_assign(&mut data, inv);
+            prop_assert_eq!(data, original);
+        }
+    }
+}

@@ -1,0 +1,667 @@
+//! The storage node: a map of per-stripe [`BlockState`] machines behind a
+//! single request/reply interface, plus the node-level concerns the paper
+//! describes — fail-remap (§3.5), the broadcast-mode coefficient multiply
+//! (§3.11), deferred redundant-block flushing for sequential I/O (§3.11),
+//! and the metadata accounting of §6.5.
+
+use crate::state::{
+    AddReply, BlockState, CheckTidReply, GetStateReply, ReadReply, SwapReply, TryLockReply,
+};
+use crate::types::{ClientId, Epoch, LMode, NodeId, OpMode, StripeId, Tid, TidEntry};
+use ajx_erasure::ReedSolomon;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Approximate fixed wire overhead of one RPC message (headers,
+/// stripe/epoch/tid fields). Used only for bandwidth *accounting* (Fig. 1);
+/// the in-process transport never serializes.
+pub const MSG_HEADER_BYTES: usize = 32;
+
+/// A request to a storage node. One variant per remote procedure in
+/// Figs. 4-7.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Request {
+    /// `read()` on a stripe-block (Fig. 4).
+    Read {
+        /// Target stripe.
+        stripe: StripeId,
+    },
+    /// `swap(v, ntid)` (Fig. 5).
+    Swap {
+        /// Target stripe.
+        stripe: StripeId,
+        /// New block content `v`.
+        value: Vec<u8>,
+        /// This write's identifier.
+        ntid: Tid,
+    },
+    /// `add(v, ntid, otid, e)` (Fig. 5). When `scale` is set, the node
+    /// multiplies the payload by its erasure coefficient before adding —
+    /// the broadcast optimization of §3.11 where "the storage nodes, not
+    /// the client, must do the multiplication by α_ji".
+    Add {
+        /// Target stripe.
+        stripe: StripeId,
+        /// The increment (already scaled by the client unless `scale` set).
+        delta: Vec<u8>,
+        /// This write's identifier.
+        ntid: Tid,
+        /// Identifier of the write this one is ordered behind.
+        otid: Option<Tid>,
+        /// The epoch the client observed at `swap` time.
+        epoch: Epoch,
+        /// `Some((j, i))`: multiply by `α_ji` node-side (broadcast mode).
+        scale: Option<(usize, usize)>,
+    },
+    /// `checktid(ntid, otid)` (Fig. 5).
+    CheckTid {
+        /// Target stripe.
+        stripe: StripeId,
+        /// The blocked write.
+        ntid: Tid,
+        /// Its predecessor.
+        otid: Tid,
+    },
+    /// `trylock(lm)` (Fig. 6).
+    TryLock {
+        /// Target stripe.
+        stripe: StripeId,
+        /// Desired lock mode.
+        lm: LMode,
+        /// The recovering client (the node's `lid`).
+        caller: ClientId,
+    },
+    /// `setlock(lm)` (Fig. 6).
+    SetLock {
+        /// Target stripe.
+        stripe: StripeId,
+        /// New lock mode.
+        lm: LMode,
+        /// The recovering client.
+        caller: ClientId,
+    },
+    /// `get_state()` (Fig. 6).
+    GetState {
+        /// Target stripe.
+        stripe: StripeId,
+    },
+    /// `getrecent(lm)` (Fig. 6).
+    GetRecent {
+        /// Target stripe.
+        stripe: StripeId,
+        /// Lock mode to set atomically with the read.
+        lm: LMode,
+        /// The recovering client.
+        caller: ClientId,
+    },
+    /// `reconstruct(set, blk)` (Fig. 6).
+    Reconstruct {
+        /// Target stripe.
+        stripe: StripeId,
+        /// The consistent set used for decoding.
+        cset: Vec<usize>,
+        /// Recovered block content for this node.
+        block: Vec<u8>,
+    },
+    /// `finalize(ep)` (Fig. 6).
+    Finalize {
+        /// Target stripe.
+        stripe: StripeId,
+        /// The new epoch (max observed + 1).
+        epoch: Epoch,
+    },
+    /// `gc_old(list)` (Fig. 7).
+    GcOld {
+        /// Target stripe.
+        stripe: StripeId,
+        /// Tids to drop from `oldlist`.
+        tids: Vec<Tid>,
+    },
+    /// `gc_recent(list)` (Fig. 7).
+    GcRecent {
+        /// Target stripe.
+        stripe: StripeId,
+        /// Tids to move from `recentlist` to `oldlist`.
+        tids: Vec<Tid>,
+    },
+    /// Monitoring probe (§3.10): age of oldest pending tid + opmode.
+    Probe {
+        /// Target stripe.
+        stripe: StripeId,
+    },
+}
+
+impl Request {
+    /// The stripe this request addresses.
+    pub fn stripe(&self) -> StripeId {
+        match self {
+            Request::Read { stripe }
+            | Request::Swap { stripe, .. }
+            | Request::Add { stripe, .. }
+            | Request::CheckTid { stripe, .. }
+            | Request::TryLock { stripe, .. }
+            | Request::SetLock { stripe, .. }
+            | Request::GetState { stripe }
+            | Request::GetRecent { stripe, .. }
+            | Request::Reconstruct { stripe, .. }
+            | Request::Finalize { stripe, .. }
+            | Request::GcOld { stripe, .. }
+            | Request::GcRecent { stripe, .. }
+            | Request::Probe { stripe } => *stripe,
+        }
+    }
+
+    /// Payload bytes carried by this request (block-sized fields only),
+    /// plus the fixed header. Used for the Fig. 1 bandwidth columns and the
+    /// simulator's bandwidth model.
+    pub fn wire_bytes(&self) -> usize {
+        let payload = match self {
+            Request::Swap { value, .. } => value.len(),
+            Request::Add { delta, .. } => delta.len(),
+            Request::Reconstruct { block, .. } => block.len(),
+            _ => 0,
+        };
+        MSG_HEADER_BYTES + payload
+    }
+}
+
+/// A reply from a storage node; variants mirror [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Reply {
+    /// Reply to [`Request::Read`].
+    Read(ReadReply),
+    /// Reply to [`Request::Swap`].
+    Swap(SwapReply),
+    /// Reply to [`Request::Add`].
+    Add(AddReply),
+    /// Reply to [`Request::CheckTid`].
+    CheckTid(CheckTidReply),
+    /// Reply to [`Request::TryLock`].
+    TryLock(TryLockReply),
+    /// Reply to [`Request::SetLock`] / [`Request::Finalize`] (no payload).
+    Ack,
+    /// Reply to [`Request::GetState`].
+    GetState(GetStateReply),
+    /// Reply to [`Request::GetRecent`].
+    GetRecent(Vec<TidEntry>),
+    /// Reply to [`Request::Reconstruct`]: the node's pre-bump epoch.
+    Reconstruct(Epoch),
+    /// Reply to [`Request::GcOld`] / [`Request::GcRecent`]: `false` = busy.
+    Gc(bool),
+    /// Reply to [`Request::Probe`].
+    Probe {
+        /// Operational mode (INIT signals a remapped, unrecovered node).
+        opmode: OpMode,
+        /// Age (in node ticks) of the oldest pending write tid, if any.
+        oldest_pending_age: Option<u64>,
+    },
+    /// The node rejected a scaled add because it has no code configured.
+    NoCode,
+}
+
+impl Reply {
+    /// Payload bytes carried by this reply, plus the fixed header.
+    pub fn wire_bytes(&self) -> usize {
+        let payload = match self {
+            Reply::Read(r) => r.block.as_ref().map_or(0, Vec::len),
+            Reply::Swap(r) => r.block.as_ref().map_or(0, Vec::len),
+            Reply::GetState(r) => {
+                r.block.as_ref().map_or(0, Vec::len) + 24 * (r.recentlist.len() + r.oldlist.len())
+            }
+            Reply::GetRecent(l) => 24 * l.len(),
+            _ => 0,
+        };
+        MSG_HEADER_BYTES + payload
+    }
+}
+
+/// How the node persists redundant-block updates to its backing medium
+/// (§3.11's sequential-write optimization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushPolicy {
+    /// Every mutation is written through to the medium immediately.
+    #[default]
+    WriteThrough,
+    /// Mutations mark the stripe-block dirty; the media write happens when
+    /// the node learns the sequential pass has moved on (a write arrives
+    /// for a different stripe) or on [`StorageNode::flush_all`].
+    Deferred,
+}
+
+/// A thin storage node hosting one block of every stripe it participates in.
+///
+/// The node is a *pure state machine*: [`StorageNode::handle`] maps a
+/// [`Request`] to a [`Reply`] with no side channels, which is what lets the
+/// paper's protocol treat servers as passive and push all orchestration to
+/// clients.
+///
+/// # Example
+///
+/// ```
+/// use ajx_storage::{NodeId, Request, Reply, StorageNode, StripeId, Tid, ClientId};
+///
+/// let mut node = StorageNode::new(NodeId(0), 16);
+/// let tid = Tid::new(1, 0, ClientId(1));
+/// let reply = node.handle(Request::Swap {
+///     stripe: StripeId(0),
+///     value: vec![7; 16],
+///     ntid: tid,
+/// });
+/// match reply {
+///     Reply::Swap(r) => assert_eq!(r.block, Some(vec![0; 16])),
+///     other => panic!("unexpected reply {other:?}"),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct StorageNode {
+    id: NodeId,
+    block_size: usize,
+    blocks: HashMap<StripeId, BlockState>,
+    code: Option<ReedSolomon>,
+    flush_policy: FlushPolicy,
+    dirty: Option<StripeId>,
+    media_writes: u64,
+    ops_handled: u64,
+    /// `Some(garbage)` after a fail-remap: stripes touched for the first
+    /// time materialize as INIT garbage, because the *whole replacement
+    /// node* starts uninitialized (§3.5), not just previously-seen stripes.
+    remap_garbage: Option<u8>,
+}
+
+impl StorageNode {
+    /// Creates a node with the given identity and block size; blocks start
+    /// zeroed in normal mode.
+    pub fn new(id: NodeId, block_size: usize) -> Self {
+        StorageNode {
+            id,
+            block_size,
+            blocks: HashMap::new(),
+            code: None,
+            flush_policy: FlushPolicy::WriteThrough,
+            dirty: None,
+            media_writes: 0,
+            ops_handled: 0,
+            remap_garbage: None,
+        }
+    }
+
+    /// Equips the node with the erasure code so it can perform the
+    /// broadcast-mode coefficient multiply (§3.11).
+    pub fn with_code(mut self, code: ReedSolomon) -> Self {
+        self.code = Some(code);
+        self
+    }
+
+    /// Selects the media flush policy (§3.11 ablation).
+    pub fn with_flush_policy(mut self, policy: FlushPolicy) -> Self {
+        self.flush_policy = policy;
+        self
+    }
+
+    /// This node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The configured block size.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Total requests handled (instrumentation).
+    pub fn ops_handled(&self) -> u64 {
+        self.ops_handled
+    }
+
+    /// Media writes performed under the current [`FlushPolicy`]
+    /// (instrumentation for the §3.11 sequential-write ablation).
+    pub fn media_writes(&self) -> u64 {
+        self.media_writes
+    }
+
+    /// Handles one request, advancing the target stripe-block state machine.
+    pub fn handle(&mut self, req: Request) -> Reply {
+        self.ops_handled += 1;
+        let stripe = req.stripe();
+        let mutates = matches!(
+            req,
+            Request::Swap { .. } | Request::Add { .. } | Request::Reconstruct { .. }
+        );
+        let block_size = self.block_size;
+        // Resolve the scaled delta before borrowing the block state.
+        let req = match req {
+            Request::Add {
+                stripe,
+                delta,
+                ntid,
+                otid,
+                epoch,
+                scale: Some((j, i)),
+            } => match &self.code {
+                None => return Reply::NoCode,
+                Some(code) => Request::Add {
+                    stripe,
+                    delta: code.scale_broadcast_delta(j, i, &delta),
+                    ntid,
+                    otid,
+                    epoch,
+                    scale: None,
+                },
+            },
+            other => other,
+        };
+
+        let remap_garbage = self.remap_garbage;
+        let state = self.blocks.entry(stripe).or_insert_with(|| match remap_garbage {
+            Some(g) => BlockState::after_fail_remap(vec![g; block_size]),
+            None => BlockState::new(block_size),
+        });
+
+        let reply = match req {
+            Request::Read { .. } => Reply::Read(state.read()),
+            Request::Swap { value, ntid, .. } => Reply::Swap(state.swap(value, ntid)),
+            Request::Add {
+                delta, ntid, otid, epoch, ..
+            } => Reply::Add(state.add(&delta, ntid, otid, epoch)),
+            Request::CheckTid { ntid, otid, .. } => Reply::CheckTid(state.checktid(ntid, otid)),
+            Request::TryLock { lm, caller, .. } => Reply::TryLock(state.trylock(lm, caller)),
+            Request::SetLock { lm, caller, .. } => {
+                state.setlock(lm, caller);
+                Reply::Ack
+            }
+            Request::GetState { .. } => Reply::GetState(state.get_state()),
+            Request::GetRecent { lm, caller, .. } => Reply::GetRecent(state.getrecent(lm, caller)),
+            Request::Reconstruct { cset, block, .. } => {
+                Reply::Reconstruct(state.reconstruct(cset, block))
+            }
+            Request::Finalize { epoch, .. } => {
+                state.finalize(epoch);
+                Reply::Ack
+            }
+            Request::GcOld { tids, .. } => Reply::Gc(state.gc_old(&tids)),
+            Request::GcRecent { tids, .. } => Reply::Gc(state.gc_recent(&tids)),
+            Request::Probe { .. } => {
+                let (opmode, oldest_pending_age) = state.probe();
+                Reply::Probe {
+                    opmode,
+                    oldest_pending_age,
+                }
+            }
+        };
+
+        if mutates && !matches!(reply, Reply::NoCode) {
+            self.account_media_write(stripe);
+        }
+        reply
+    }
+
+    fn account_media_write(&mut self, stripe: StripeId) {
+        match self.flush_policy {
+            FlushPolicy::WriteThrough => self.media_writes += 1,
+            FlushPolicy::Deferred => match self.dirty {
+                Some(d) if d == stripe => {} // coalesced with pending flush
+                Some(_) => {
+                    // Sequential pass moved on: flush the previous block.
+                    self.media_writes += 1;
+                    self.dirty = Some(stripe);
+                }
+                None => self.dirty = Some(stripe),
+            },
+        }
+    }
+
+    /// Flushes any deferred dirty block to the medium.
+    pub fn flush_all(&mut self) {
+        if self.dirty.take().is_some() {
+            self.media_writes += 1;
+        }
+    }
+
+    /// Simulates a crash + remap (§3.5): every stripe-block is replaced by
+    /// INIT state holding the supplied garbage pattern. The node keeps its
+    /// *logical* identity; the directory layer models the physical swap.
+    pub fn fail_remap(&mut self, garbage_byte: u8) {
+        self.remap_garbage = Some(garbage_byte);
+        let stripes: Vec<StripeId> = self.blocks.keys().copied().collect();
+        for s in stripes {
+            self.blocks
+                .insert(s, BlockState::after_fail_remap(vec![garbage_byte; self.block_size]));
+        }
+        self.dirty = None;
+    }
+
+    /// Notifies the node that `client` crashed, expiring any recovery locks
+    /// it holds (Fig. 6 line 34). Returns how many locks expired.
+    pub fn on_client_failure(&mut self, client: ClientId) -> usize {
+        self.blocks
+            .values_mut()
+            .map(|b| usize::from(b.expire_lock_if_held_by(client)))
+            .sum()
+    }
+
+    /// Direct access to a stripe-block's state (tests and monitoring only).
+    pub fn block_state(&self, stripe: StripeId) -> Option<&BlockState> {
+        self.blocks.get(&stripe)
+    }
+
+    /// Mutable access for fault-injection in tests.
+    pub fn block_state_mut(&mut self, stripe: StripeId) -> Option<&mut BlockState> {
+        self.blocks.get_mut(&stripe)
+    }
+
+    /// Stripes this node currently holds state for.
+    pub fn stripes(&self) -> impl Iterator<Item = StripeId> + '_ {
+        self.blocks.keys().copied()
+    }
+
+    /// Total protocol metadata bytes across all stripe-blocks (§6.5).
+    pub fn metadata_bytes(&self) -> usize {
+        self.blocks.values().map(BlockState::metadata_bytes).sum()
+    }
+
+    /// Number of stripe-blocks materialized at this node.
+    pub fn resident_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::AddStatus;
+
+    fn tid(seq: u64) -> Tid {
+        Tid::new(seq, 0, ClientId(1))
+    }
+
+    #[test]
+    fn lazy_block_materialization() {
+        let mut node = StorageNode::new(NodeId(0), 8);
+        assert_eq!(node.resident_blocks(), 0);
+        let r = node.handle(Request::Read { stripe: StripeId(5) });
+        assert!(matches!(r, Reply::Read(ReadReply { block: Some(b), .. }) if b == vec![0; 8]));
+        assert_eq!(node.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn stripes_are_independent() {
+        let mut node = StorageNode::new(NodeId(0), 2);
+        node.handle(Request::TryLock {
+            stripe: StripeId(1),
+            lm: LMode::L1,
+            caller: ClientId(7),
+        });
+        // Stripe 2 is unaffected by stripe 1's lock.
+        let r = node.handle(Request::Swap {
+            stripe: StripeId(2),
+            value: vec![1, 1],
+            ntid: tid(1),
+        });
+        assert!(matches!(r, Reply::Swap(SwapReply { block: Some(_), .. })));
+        let r = node.handle(Request::Swap {
+            stripe: StripeId(1),
+            value: vec![1, 1],
+            ntid: tid(2),
+        });
+        assert!(matches!(r, Reply::Swap(SwapReply { block: None, .. })));
+    }
+
+    #[test]
+    fn scaled_add_requires_code() {
+        let mut node = StorageNode::new(NodeId(0), 4);
+        let req = Request::Add {
+            stripe: StripeId(0),
+            delta: vec![1; 4],
+            ntid: tid(1),
+            otid: None,
+            epoch: Epoch(0),
+            scale: Some((0, 0)),
+        };
+        assert_eq!(node.handle(req.clone()), Reply::NoCode);
+
+        let code = ReedSolomon::new(2, 4).unwrap();
+        let expected = code.scale_broadcast_delta(0, 0, &[1; 4]);
+        let mut node = StorageNode::new(NodeId(0), 4).with_code(code);
+        assert!(matches!(
+            node.handle(req),
+            Reply::Add(AddReply { status: AddStatus::Ok, .. })
+        ));
+        assert_eq!(
+            node.block_state(StripeId(0)).unwrap().raw_block(),
+            &expected[..]
+        );
+    }
+
+    #[test]
+    fn fail_remap_resets_all_stripes_to_init() {
+        let mut node = StorageNode::new(NodeId(0), 2);
+        for s in 0..3 {
+            node.handle(Request::Swap {
+                stripe: StripeId(s),
+                value: vec![s as u8; 2],
+                ntid: tid(s),
+            });
+        }
+        node.fail_remap(0xEE);
+        for s in 0..3 {
+            let st = node.block_state(StripeId(s)).unwrap();
+            assert_eq!(st.opmode(), OpMode::Init);
+            assert_eq!(st.raw_block(), &[0xEE, 0xEE]);
+        }
+        // Reads now fail, which is what triggers client-side recovery.
+        let r = node.handle(Request::Read { stripe: StripeId(0) });
+        assert!(matches!(r, Reply::Read(ReadReply { block: None, .. })));
+    }
+
+    #[test]
+    fn client_failure_expires_only_their_locks() {
+        let mut node = StorageNode::new(NodeId(0), 2);
+        node.handle(Request::TryLock {
+            stripe: StripeId(0),
+            lm: LMode::L1,
+            caller: ClientId(1),
+        });
+        node.handle(Request::TryLock {
+            stripe: StripeId(1),
+            lm: LMode::L0,
+            caller: ClientId(2),
+        });
+        assert_eq!(node.on_client_failure(ClientId(1)), 1);
+        assert_eq!(
+            node.block_state(StripeId(0)).unwrap().lmode(),
+            LMode::Exp
+        );
+        assert_eq!(node.block_state(StripeId(1)).unwrap().lmode(), LMode::L0);
+    }
+
+    #[test]
+    fn write_through_counts_every_mutation() {
+        let mut node = StorageNode::new(NodeId(0), 2);
+        for i in 0..5 {
+            node.handle(Request::Add {
+                stripe: StripeId(0),
+                delta: vec![1, 1],
+                ntid: tid(i),
+                otid: None,
+                epoch: Epoch(0),
+                scale: None,
+            });
+        }
+        assert_eq!(node.media_writes(), 5);
+    }
+
+    #[test]
+    fn deferred_flush_coalesces_sequential_updates() {
+        // §3.11: a redundant block updated by k sequential writes should hit
+        // the medium once, not k times.
+        let mut node =
+            StorageNode::new(NodeId(0), 2).with_flush_policy(FlushPolicy::Deferred);
+        for i in 0..4 {
+            node.handle(Request::Add {
+                stripe: StripeId(0),
+                delta: vec![1, 1],
+                ntid: tid(i),
+                otid: None,
+                epoch: Epoch(0),
+                scale: None,
+            });
+        }
+        assert_eq!(node.media_writes(), 0, "still buffered");
+        // Sequential pass moves to the next stripe: previous block flushes.
+        node.handle(Request::Add {
+            stripe: StripeId(1),
+            delta: vec![1, 1],
+            ntid: tid(9),
+            otid: None,
+            epoch: Epoch(0),
+            scale: None,
+        });
+        assert_eq!(node.media_writes(), 1);
+        node.flush_all();
+        assert_eq!(node.media_writes(), 2);
+        node.flush_all();
+        assert_eq!(node.media_writes(), 2, "flush is idempotent");
+    }
+
+    #[test]
+    fn wire_byte_accounting_counts_payloads() {
+        let swap = Request::Swap {
+            stripe: StripeId(0),
+            value: vec![0; 1024],
+            ntid: tid(1),
+        };
+        assert_eq!(swap.wire_bytes(), MSG_HEADER_BYTES + 1024);
+        assert_eq!(
+            Request::Read { stripe: StripeId(0) }.wire_bytes(),
+            MSG_HEADER_BYTES
+        );
+        let reply = Reply::Read(ReadReply {
+            block: Some(vec![0; 512]),
+            lmode: LMode::Unl,
+        });
+        assert_eq!(reply.wire_bytes(), MSG_HEADER_BYTES + 512);
+    }
+
+    #[test]
+    fn probe_reports_pending_writes_and_opmode() {
+        let mut node = StorageNode::new(NodeId(0), 2);
+        node.handle(Request::Add {
+            stripe: StripeId(0),
+            delta: vec![1, 1],
+            ntid: tid(1),
+            otid: None,
+            epoch: Epoch(0),
+            scale: None,
+        });
+        match node.handle(Request::Probe { stripe: StripeId(0) }) {
+            Reply::Probe {
+                opmode,
+                oldest_pending_age,
+            } => {
+                assert_eq!(opmode, OpMode::Norm);
+                assert!(oldest_pending_age.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

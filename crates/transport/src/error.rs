@@ -1,0 +1,48 @@
+//! RPC error type.
+
+use ajx_storage::NodeId;
+use core::fmt;
+
+/// Why an RPC failed to complete.
+///
+/// The paper's failure model (§2) is fail-stop: nodes halt and the halt is
+/// detectable. These errors are the transport-level manifestation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// The target storage node has crashed (fail-stop) and not been
+    /// remapped yet; the caller should trigger recovery/remap.
+    NodeDown(NodeId),
+    /// The *calling client* was killed by fault injection mid-protocol —
+    /// used by tests and experiments to create the paper's "partial write"
+    /// scenarios deterministically.
+    ClientKilled,
+    /// The node id is not part of this network.
+    UnknownNode(NodeId),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::NodeDown(n) => write!(f, "storage node {n} is down"),
+            RpcError::ClientKilled => write!(f, "client was killed by fault injection"),
+            RpcError::UnknownNode(n) => write!(f, "storage node {n} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            RpcError::NodeDown(NodeId(2)).to_string(),
+            "storage node s2 is down"
+        );
+        assert!(RpcError::ClientKilled.to_string().contains("killed"));
+        assert!(RpcError::UnknownNode(NodeId(9)).to_string().contains("s9"));
+    }
+}

@@ -1,0 +1,45 @@
+//! In-process RPC transport for the AJX reproduction.
+//!
+//! The paper's implementation (§5.1) runs "RPC in user mode ... over TCP"
+//! between 8 hosts. This crate reproduces that environment in-process:
+//!
+//! * [`Network`] — hosts the storage nodes; synchronous request/reply
+//!   delivery with optional one-way latency and per-endpoint token-bucket
+//!   bandwidth ([`TokenBucket`]) so the saturation effects that shape the
+//!   paper's Fig. 9 exist here too.
+//! * [`ClientEndpoint`] — per-client connection with serial calls
+//!   ([`ClientEndpoint::call`]), parallel `pfor` fan-out
+//!   ([`ClientEndpoint::call_many`]), and link-layer multicast
+//!   ([`ClientEndpoint::broadcast`], §3.11).
+//! * Fault injection — fail-stop node crashes ([`Network::crash_node`]),
+//!   directory-style remap to a fresh INIT node ([`Network::remap_node`],
+//!   §3.5), deterministic client kills ([`ClientEndpoint::kill_after`]),
+//!   and client-failure detection that expires recovery locks
+//!   ([`Network::notify_client_failure`], Fig. 6 line 34).
+//! * [`NetStats`] — message/byte counters behind the measured Fig. 1 table.
+//!
+//! # Example
+//!
+//! ```
+//! use ajx_transport::{Network, NetworkConfig};
+//! use ajx_storage::{ClientId, NodeId, Request, Reply, StripeId};
+//!
+//! let net = Network::new(NetworkConfig::default());
+//! let client = net.client(ClientId(1));
+//! let reply = client.call(NodeId(0), Request::Read { stripe: StripeId(0) })?;
+//! assert!(matches!(reply, Reply::Read(_)));
+//! # Ok::<(), ajx_transport::RpcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bucket;
+mod error;
+mod network;
+mod stats;
+
+pub use bucket::TokenBucket;
+pub use error::RpcError;
+pub use network::{ClientEndpoint, Network, NetworkConfig};
+pub use stats::{NetSnapshot, NetStats};

@@ -1,0 +1,723 @@
+//! The in-process network: storage nodes served by persistent worker
+//! threads, client endpoints with bandwidth shaping, fault injection, and
+//! the directory/remap behaviour of §3.5.
+//!
+//! This is the reproduction's analogue of the paper's §5.1 testbed ("RPC in
+//! user mode running over TCP", 8 hosts). The threading model is the
+//! paper's too: "the number of threads at the server limit the number of
+//! RPC calls that are served simultaneously; at the client, it limits the
+//! number of outstanding calls". Each storage node owns a request queue
+//! drained by [`NetworkConfig::server_threads`] worker threads; clients
+//! block per call (callers provide their own outstanding-call threads).
+
+use crate::bucket::TokenBucket;
+use crate::error::RpcError;
+use crate::stats::NetStats;
+use ajx_erasure::ReedSolomon;
+use ajx_storage::{ClientId, FlushPolicy, NodeId, Reply, Request, StorageNode};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration for a [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Number of storage nodes (`n` in the paper).
+    pub n_nodes: usize,
+    /// Block size in bytes (the paper uses 1 KB blocks in §6).
+    pub block_size: usize,
+    /// One-way message latency (the paper's testbed: 50 µs RTT ⇒ 25 µs).
+    /// Zero disables latency simulation for fast unit tests.
+    pub one_way_latency: Duration,
+    /// Per-client NIC bandwidth in bytes/s (`None` = unlimited). The
+    /// paper's testbed: 500 Mbit/s ≈ 62.5 MB/s.
+    pub client_bandwidth: Option<u64>,
+    /// Per-storage-node NIC bandwidth in bytes/s (`None` = unlimited).
+    pub node_bandwidth: Option<u64>,
+    /// RPC worker threads per storage node (§5.1: limits the number of
+    /// calls served simultaneously).
+    pub server_threads: usize,
+    /// Erasure code handed to nodes for broadcast-mode scaling (§3.11).
+    pub code: Option<ReedSolomon>,
+    /// Media flush policy for the nodes (§3.11 ablation).
+    pub flush_policy: FlushPolicy,
+}
+
+impl Default for NetworkConfig {
+    /// A fast-test default: 4 nodes, 64-byte blocks, no latency or
+    /// bandwidth simulation.
+    fn default() -> Self {
+        NetworkConfig {
+            n_nodes: 4,
+            block_size: 64,
+            one_way_latency: Duration::ZERO,
+            client_bandwidth: None,
+            node_bandwidth: None,
+            server_threads: 4,
+            code: None,
+            flush_policy: FlushPolicy::WriteThrough,
+        }
+    }
+}
+
+struct Job {
+    req: Request,
+    reply_tx: Sender<Result<Reply, RpcError>>,
+}
+
+struct NodeSlot {
+    node: Arc<Mutex<StorageNode>>,
+    up: Arc<AtomicBool>,
+    queue: Sender<Job>,
+}
+
+fn spawn_node_workers(
+    id: NodeId,
+    node: Arc<Mutex<StorageNode>>,
+    up: Arc<AtomicBool>,
+    nic: Option<Arc<TokenBucket>>,
+    rx: Receiver<Job>,
+    workers: usize,
+) {
+    for w in 0..workers {
+        let node = Arc::clone(&node);
+        let up = Arc::clone(&up);
+        let nic = nic.clone();
+        let rx = rx.clone();
+        std::thread::Builder::new()
+            .name(format!("{id}-worker-{w}"))
+            .spawn(move || {
+                // Exits when every queue sender (the Network) is dropped.
+                for job in rx.iter() {
+                    if !up.load(Ordering::SeqCst) {
+                        let _ = job.reply_tx.send(Err(RpcError::NodeDown(id)));
+                        continue;
+                    }
+                    let req_bytes = job.req.wire_bytes();
+                    if let Some(nic) = &nic {
+                        nic.consume(req_bytes);
+                    }
+                    // A node that crashed while the request was queued
+                    // never replies with data.
+                    if !up.load(Ordering::SeqCst) {
+                        let _ = job.reply_tx.send(Err(RpcError::NodeDown(id)));
+                        continue;
+                    }
+                    let reply = node.lock().handle(job.req);
+                    if let Some(nic) = &nic {
+                        nic.consume(reply.wire_bytes());
+                    }
+                    let _ = job.reply_tx.send(Ok(reply));
+                }
+            })
+            .expect("spawn node worker");
+    }
+}
+
+/// The shared in-process network holding every storage node.
+///
+/// Cheap to share (`Arc`); create per-client endpoints with
+/// [`Network::client`]. Node worker threads shut down when the last `Arc`
+/// drops.
+pub struct Network {
+    slots: Vec<NodeSlot>,
+    latency: Duration,
+    client_bandwidth: Option<u64>,
+    stats: NetStats,
+}
+
+impl Network {
+    /// Builds the network, its storage nodes, and their worker threads.
+    pub fn new(cfg: NetworkConfig) -> Arc<Self> {
+        let slots = (0..cfg.n_nodes)
+            .map(|i| {
+                let id = NodeId(i as u32);
+                let mut node =
+                    StorageNode::new(id, cfg.block_size).with_flush_policy(cfg.flush_policy);
+                if let Some(code) = &cfg.code {
+                    node = node.with_code(code.clone());
+                }
+                let node = Arc::new(Mutex::new(node));
+                let up = Arc::new(AtomicBool::new(true));
+                let nic = cfg.node_bandwidth.map(|b| Arc::new(TokenBucket::new(b)));
+                let (tx, rx) = unbounded::<Job>();
+                spawn_node_workers(
+                    id,
+                    Arc::clone(&node),
+                    Arc::clone(&up),
+                    nic,
+                    rx,
+                    cfg.server_threads.max(1),
+                );
+                NodeSlot { node, up, queue: tx }
+            })
+            .collect();
+        Arc::new(Network {
+            slots,
+            latency: cfg.one_way_latency,
+            client_bandwidth: cfg.client_bandwidth,
+            stats: NetStats::new(),
+        })
+    }
+
+    /// Number of storage nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Creates an endpoint through which a client issues RPCs.
+    pub fn client(self: &Arc<Self>, id: ClientId) -> ClientEndpoint {
+        ClientEndpoint {
+            net: Arc::clone(self),
+            id,
+            nic: self.client_bandwidth.map(TokenBucket::new),
+            stats: NetStats::new(),
+            calls_before_kill: AtomicU64::new(u64::MAX),
+            killed: AtomicBool::new(false),
+        }
+    }
+
+    /// Fail-stops a storage node: subsequent RPCs return
+    /// [`RpcError::NodeDown`].
+    pub fn crash_node(&self, node: NodeId) {
+        if let Some(slot) = self.slots.get(node.0 as usize) {
+            slot.up.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Remaps the logical node to a fresh replacement (§3.5): the node
+    /// comes back up with `opmode = INIT` and `garbage_byte` contents.
+    pub fn remap_node(&self, node: NodeId, garbage_byte: u8) {
+        if let Some(slot) = self.slots.get(node.0 as usize) {
+            slot.node.lock().fail_remap(garbage_byte);
+            slot.up.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether the node is currently reachable.
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.slots
+            .get(node.0 as usize)
+            .is_some_and(|s| s.up.load(Ordering::SeqCst))
+    }
+
+    /// Fail-stop detection of a *client* (§2): expires the recovery locks it
+    /// held at every node (Fig. 6 line 34). Returns total locks expired.
+    pub fn notify_client_failure(&self, client: ClientId) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.node.lock().on_client_failure(client))
+            .sum()
+    }
+
+    /// Runs `f` with direct mutable access to a node — for tests, fault
+    /// injection, and monitoring that bypasses the RPC path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn with_node<R>(&self, node: NodeId, f: impl FnOnce(&mut StorageNode) -> R) -> R {
+        let slot = &self.slots[node.0 as usize];
+        f(&mut slot.node.lock())
+    }
+
+    /// Network-wide traffic counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn sleep_latency(&self) {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+    }
+
+    /// Delivers a batch of requests that were sent "at the same time" (one
+    /// propagation delay each way for the whole batch — the paper's
+    /// `pfor` round). Returns replies in request order.
+    fn deliver_batch(&self, calls: Vec<(NodeId, Request)>) -> Vec<Result<Reply, RpcError>> {
+        let mut pending: Vec<Result<Receiver<Result<Reply, RpcError>>, RpcError>> =
+            Vec::with_capacity(calls.len());
+        self.sleep_latency(); // outbound propagation (shared window)
+        for (node, req) in calls {
+            pending.push(self.submit(node, req));
+        }
+        let mut replies = Vec::with_capacity(pending.len());
+        for p in pending {
+            replies.push(match p {
+                Err(e) => Err(e),
+                Ok(rx) => match rx.recv() {
+                    Ok(r) => r,
+                    Err(_) => Err(RpcError::ClientKilled), // network torn down
+                },
+            });
+        }
+        self.sleep_latency(); // inbound propagation
+        for reply in replies.iter().flatten() {
+            self.stats.record_receive(reply.wire_bytes());
+        }
+        replies
+    }
+
+    fn submit(
+        &self,
+        node: NodeId,
+        req: Request,
+    ) -> Result<Receiver<Result<Reply, RpcError>>, RpcError> {
+        let slot = self
+            .slots
+            .get(node.0 as usize)
+            .ok_or(RpcError::UnknownNode(node))?;
+        if !slot.up.load(Ordering::SeqCst) {
+            return Err(RpcError::NodeDown(node));
+        }
+        self.stats.record_send(req.wire_bytes());
+        let (tx, rx) = bounded(1);
+        slot.queue
+            .send(Job { req, reply_tx: tx })
+            .map_err(|_| RpcError::NodeDown(node))?;
+        Ok(rx)
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("n_nodes", &self.slots.len())
+            .field("latency", &self.latency)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A client's connection to the network.
+///
+/// Synchronous [`ClientEndpoint::call`]s model RPC; parallel fan-out
+/// (the paper's `pfor`) is [`ClientEndpoint::call_many`], which issues the
+/// whole batch in one round without spawning threads. The endpoint meters
+/// its own NIC bandwidth and records per-client traffic stats — that
+/// per-client accounting is what the Fig. 1 and Fig. 9 experiments report.
+pub struct ClientEndpoint {
+    net: Arc<Network>,
+    id: ClientId,
+    nic: Option<TokenBucket>,
+    stats: NetStats,
+    /// Remaining successful calls before fault injection kills this client.
+    calls_before_kill: AtomicU64,
+    killed: AtomicBool,
+}
+
+impl ClientEndpoint {
+    /// The client's identity.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The network this endpoint belongs to.
+    pub fn network(&self) -> &Arc<Network> {
+        &self.net
+    }
+
+    /// Per-client traffic counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Fault injection: the client fail-stops after `calls` more RPCs.
+    /// Used to create the paper's partial-write states deterministically.
+    pub fn kill_after(&self, calls: u64) {
+        self.calls_before_kill.store(calls, Ordering::SeqCst);
+    }
+
+    /// Whether fault injection has killed this client.
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
+    }
+
+    fn consume_budget(&self) -> Result<(), RpcError> {
+        if self.killed.load(Ordering::SeqCst) {
+            return Err(RpcError::ClientKilled);
+        }
+        let prev = self.calls_before_kill.fetch_update(
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+            |v| Some(v.saturating_sub(1)),
+        );
+        if prev == Ok(0) || prev == Err(0) {
+            self.killed.store(true, Ordering::SeqCst);
+            return Err(RpcError::ClientKilled);
+        }
+        Ok(())
+    }
+
+    /// One synchronous RPC: request out, reply back.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::NodeDown`] / [`RpcError::UnknownNode`] for unreachable
+    /// targets; [`RpcError::ClientKilled`] once fault injection fires.
+    pub fn call(&self, node: NodeId, req: Request) -> Result<Reply, RpcError> {
+        self.call_many(vec![(node, req)]).pop().expect("one reply")
+    }
+
+    /// Parallel fan-out — the paper's `pfor`: the batch is sent in one
+    /// round (one shared propagation delay each way; the client NIC still
+    /// serializes the payloads) and the replies are returned in order.
+    pub fn call_many(&self, calls: Vec<(NodeId, Request)>) -> Vec<Result<Reply, RpcError>> {
+        // Budget + client NIC serialization per request.
+        let mut admitted = Vec::with_capacity(calls.len());
+        let mut gate: Vec<Option<RpcError>> = Vec::with_capacity(calls.len());
+        for (node, req) in calls {
+            match self.consume_budget() {
+                Err(e) => gate.push(Some(e)),
+                Ok(()) => {
+                    let bytes = req.wire_bytes();
+                    if let Some(nic) = &self.nic {
+                        nic.consume(bytes);
+                    }
+                    self.stats.record_send(bytes);
+                    gate.push(None);
+                    admitted.push((node, req));
+                }
+            }
+        }
+        let mut delivered = self.net.deliver_batch(admitted).into_iter();
+        gate.into_iter()
+            .map(|g| match g {
+                Some(e) => Err(e),
+                None => {
+                    let r = delivered.next().expect("reply per admitted call");
+                    if let Ok(reply) = &r {
+                        let bytes = reply.wire_bytes();
+                        if let Some(nic) = &self.nic {
+                            nic.consume(bytes);
+                        }
+                        self.stats.record_receive(bytes);
+                        self.stats.record_round_trip();
+                    }
+                    r
+                }
+            })
+            .collect()
+    }
+
+    /// Broadcast (§3.11): sends the *same* payload to many nodes, paying
+    /// the client-side bandwidth only once — "use broadcast to send `add`
+    /// ... thus saving client bandwidth". Each target still produces its
+    /// own reply.
+    ///
+    /// `requests` normally differ only in their target; the payload of the
+    /// first is charged to the client NIC, modeling link-layer multicast.
+    pub fn broadcast(&self, requests: Vec<(NodeId, Request)>) -> Vec<Result<Reply, RpcError>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        if let Err(e) = self.consume_budget() {
+            return vec![Err(e); requests.len()];
+        }
+        let shared_bytes = requests[0].1.wire_bytes();
+        if let Some(nic) = &self.nic {
+            nic.consume(shared_bytes);
+        }
+        self.stats.record_send(shared_bytes);
+
+        self.net
+            .deliver_batch(requests)
+            .into_iter()
+            .inspect(|r| {
+                if let Ok(reply) = r {
+                    let bytes = reply.wire_bytes();
+                    if let Some(nic) = &self.nic {
+                        nic.consume(bytes);
+                    }
+                    self.stats.record_receive(bytes);
+                    self.stats.record_round_trip();
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for ClientEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientEndpoint")
+            .field("id", &self.id)
+            .field("killed", &self.is_killed())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajx_storage::{StripeId, Tid};
+
+    fn net4() -> Arc<Network> {
+        Network::new(NetworkConfig::default())
+    }
+
+    fn tid(seq: u64, c: u32) -> Tid {
+        Tid::new(seq, 0, ClientId(c))
+    }
+
+    #[test]
+    fn call_round_trips_through_node() {
+        let net = net4();
+        let client = net.client(ClientId(1));
+        let reply = client
+            .call(
+                NodeId(0),
+                Request::Swap {
+                    stripe: StripeId(0),
+                    value: vec![5; 64],
+                    ntid: tid(1, 1),
+                },
+            )
+            .unwrap();
+        assert!(matches!(reply, Reply::Swap(s) if s.block == Some(vec![0; 64])));
+        let snap = client.stats().snapshot();
+        assert_eq!(snap.msgs_sent, 1);
+        assert_eq!(snap.round_trips, 1);
+    }
+
+    #[test]
+    fn crashed_node_returns_node_down_until_remap() {
+        let net = net4();
+        let client = net.client(ClientId(1));
+        net.crash_node(NodeId(2));
+        assert!(!net.node_is_up(NodeId(2)));
+        let err = client
+            .call(NodeId(2), Request::Read { stripe: StripeId(0) })
+            .unwrap_err();
+        assert_eq!(err, RpcError::NodeDown(NodeId(2)));
+
+        net.remap_node(NodeId(2), 0xAB);
+        assert!(net.node_is_up(NodeId(2)));
+        // The remapped node is up but in INIT mode: read returns ⊥.
+        let reply = client
+            .call(NodeId(2), Request::Read { stripe: StripeId(0) })
+            .unwrap();
+        assert!(matches!(reply, Reply::Read(r) if r.block.is_none()));
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let net = net4();
+        let client = net.client(ClientId(1));
+        let err = client
+            .call(NodeId(99), Request::Read { stripe: StripeId(0) })
+            .unwrap_err();
+        assert_eq!(err, RpcError::UnknownNode(NodeId(99)));
+    }
+
+    #[test]
+    fn kill_after_stops_the_client_mid_sequence() {
+        let net = net4();
+        let client = net.client(ClientId(1));
+        client.kill_after(2);
+        let read = Request::Read { stripe: StripeId(0) };
+        assert!(client.call(NodeId(0), read.clone()).is_ok());
+        assert!(client.call(NodeId(0), read.clone()).is_ok());
+        assert_eq!(
+            client.call(NodeId(0), read.clone()).unwrap_err(),
+            RpcError::ClientKilled
+        );
+        assert!(client.is_killed());
+        // Once killed, always killed.
+        assert_eq!(
+            client.call(NodeId(0), read).unwrap_err(),
+            RpcError::ClientKilled
+        );
+    }
+
+    #[test]
+    fn kill_budget_applies_within_a_batch() {
+        let net = net4();
+        let client = net.client(ClientId(1));
+        client.kill_after(2);
+        let calls: Vec<_> = (0..4)
+            .map(|i| (NodeId(i), Request::Read { stripe: StripeId(0) }))
+            .collect();
+        let replies = client.call_many(calls);
+        let ok = replies.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(ok, 2, "exactly the remaining budget succeeds");
+        assert_eq!(replies[2], Err(RpcError::ClientKilled));
+        assert_eq!(replies[3], Err(RpcError::ClientKilled));
+    }
+
+    #[test]
+    fn call_many_reaches_all_nodes_in_one_round() {
+        let net = net4();
+        let client = net.client(ClientId(1));
+        let calls: Vec<_> = (0..4)
+            .map(|i| (NodeId(i), Request::Read { stripe: StripeId(0) }))
+            .collect();
+        let replies = client.call_many(calls);
+        assert_eq!(replies.len(), 4);
+        assert!(replies.iter().all(|r| r.is_ok()));
+        assert_eq!(client.stats().snapshot().round_trips, 4);
+    }
+
+    #[test]
+    fn call_many_mixes_success_and_failure() {
+        let net = net4();
+        net.crash_node(NodeId(1));
+        let client = net.client(ClientId(1));
+        let calls: Vec<_> = (0..3)
+            .map(|i| (NodeId(i), Request::Read { stripe: StripeId(0) }))
+            .collect();
+        let replies = client.call_many(calls);
+        assert!(replies[0].is_ok());
+        assert_eq!(replies[1], Err(RpcError::NodeDown(NodeId(1))));
+        assert!(replies[2].is_ok());
+    }
+
+    #[test]
+    fn broadcast_charges_sender_once() {
+        let net = net4();
+        let client = net.client(ClientId(1));
+        let reqs: Vec<_> = (1..4)
+            .map(|i| {
+                (
+                    NodeId(i),
+                    Request::Add {
+                        stripe: StripeId(0),
+                        delta: vec![1; 64],
+                        ntid: tid(1, 1),
+                        otid: None,
+                        epoch: ajx_storage::Epoch(0),
+                        scale: None,
+                    },
+                )
+            })
+            .collect();
+        let replies = client.broadcast(reqs);
+        assert_eq!(replies.len(), 3);
+        assert!(replies.iter().all(|r| r.is_ok()));
+        let snap = client.stats().snapshot();
+        assert_eq!(snap.msgs_sent, 1, "one multicast send");
+        assert_eq!(snap.msgs_received, 3, "one reply per target");
+    }
+
+    #[test]
+    fn client_failure_notification_expires_locks() {
+        let net = net4();
+        let client = net.client(ClientId(7));
+        client
+            .call(
+                NodeId(0),
+                Request::TryLock {
+                    stripe: StripeId(3),
+                    lm: ajx_storage::LMode::L1,
+                    caller: ClientId(7),
+                },
+            )
+            .unwrap();
+        assert_eq!(net.notify_client_failure(ClientId(7)), 1);
+        net.with_node(NodeId(0), |n| {
+            assert_eq!(
+                n.block_state(StripeId(3)).unwrap().lmode(),
+                ajx_storage::LMode::Exp
+            );
+        });
+    }
+
+    #[test]
+    fn global_stats_see_all_clients() {
+        let net = net4();
+        let c1 = net.client(ClientId(1));
+        let c2 = net.client(ClientId(2));
+        c1.call(NodeId(0), Request::Read { stripe: StripeId(0) })
+            .unwrap();
+        c2.call(NodeId(1), Request::Read { stripe: StripeId(0) })
+            .unwrap();
+        assert_eq!(net.stats().snapshot().msgs_sent, 2);
+    }
+
+    #[test]
+    fn many_concurrent_callers_scale_through_worker_pool() {
+        // The regression this design fixes: concurrent closed-loop callers
+        // must not serialize behind per-call thread spawning.
+        let net = Network::new(NetworkConfig {
+            n_nodes: 4,
+            server_threads: 4,
+            ..NetworkConfig::default()
+        });
+        let client = Arc::new(net.client(ClientId(1)));
+        let ops = 500u32;
+        crossbeam::thread::scope(|s| {
+            for t in 0..8u32 {
+                let client = Arc::clone(&client);
+                s.spawn(move |_| {
+                    for i in 0..ops {
+                        let node = NodeId((t + i) % 4);
+                        client
+                            .call(node, Request::Read { stripe: StripeId(0) })
+                            .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(client.stats().snapshot().round_trips as u32, 8 * ops);
+    }
+}
+
+#[cfg(test)]
+mod server_thread_tests {
+    use super::*;
+    use ajx_storage::StripeId;
+
+    #[test]
+    fn single_server_thread_still_serves_concurrent_clients() {
+        // §5.1: "the number of threads at the server limit the number of
+        // RPC calls that are served simultaneously" — with one worker the
+        // node serializes service but must remain live and correct.
+        let net = Network::new(NetworkConfig {
+            n_nodes: 2,
+            server_threads: 1,
+            ..NetworkConfig::default()
+        });
+        let clients: Vec<_> = (0..4).map(|i| net.client(ClientId(i))).collect();
+        crossbeam::thread::scope(|s| {
+            for c in &clients {
+                s.spawn(move |_| {
+                    for i in 0..100u64 {
+                        c.call(
+                            NodeId((i % 2) as u32),
+                            Request::Read { stripe: StripeId(0) },
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(net.stats().snapshot().msgs_sent, 400);
+    }
+
+    #[test]
+    fn jobs_queued_behind_a_crash_get_node_down_replies() {
+        let net = Network::new(NetworkConfig {
+            n_nodes: 1,
+            server_threads: 1,
+            ..NetworkConfig::default()
+        });
+        let client = net.client(ClientId(1));
+        // Race a crash against a burst of calls: every call must resolve to
+        // either a successful reply or NodeDown — never hang.
+        crossbeam::thread::scope(|s| {
+            let net2 = &net;
+            s.spawn(move |_| {
+                std::thread::yield_now();
+                net2.crash_node(NodeId(0));
+            });
+            for _ in 0..50 {
+                let _ = client.call(NodeId(0), Request::Read { stripe: StripeId(0) });
+            }
+        })
+        .unwrap();
+        assert!(!net.node_is_up(NodeId(0)));
+    }
+}

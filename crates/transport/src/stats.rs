@@ -1,0 +1,144 @@
+//! Message and byte instrumentation.
+//!
+//! Fig. 1 of the paper compares protocols by *measured* common-case cost:
+//! number of messages, round trips, and bandwidth per operation. Rather
+//! than trusting the formulas, the reproduction counts real messages here
+//! and checks them against the table (see `fig1_comparison`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for traffic through one endpoint or one network.
+///
+/// All methods are lock-free and callable from any thread.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_received: AtomicU64,
+    bytes_received: AtomicU64,
+    round_trips: AtomicU64,
+}
+
+/// A point-in-time copy of [`NetStats`], supporting subtraction to measure
+/// a single operation's cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetSnapshot {
+    /// Messages sent by the endpoint.
+    pub msgs_sent: u64,
+    /// Bytes sent (payload + fixed header accounting).
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub msgs_received: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+    /// Completed request/reply round trips.
+    pub round_trips: u64,
+}
+
+impl NetStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an outbound message of `bytes`.
+    pub fn record_send(&self, bytes: usize) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records an inbound message of `bytes`.
+    pub fn record_receive(&self, bytes: usize) {
+        self.msgs_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one completed round trip.
+    pub fn record_round_trip(&self) {
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            msgs_received: self.msgs_received.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            round_trips: self.round_trips.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl NetSnapshot {
+    /// Counter-wise difference `self − earlier` (saturating), giving the
+    /// cost of the operations performed between two snapshots.
+    pub fn since(&self, earlier: &NetSnapshot) -> NetSnapshot {
+        NetSnapshot {
+            msgs_sent: self.msgs_sent.saturating_sub(earlier.msgs_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            msgs_received: self.msgs_received.saturating_sub(earlier.msgs_received),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            round_trips: self.round_trips.saturating_sub(earlier.round_trips),
+        }
+    }
+
+    /// Total messages in both directions — the paper's "# msgs" columns.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs_sent + self.msgs_received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = NetStats::new();
+        s.record_send(100);
+        s.record_send(50);
+        s.record_receive(10);
+        s.record_round_trip();
+        let snap = s.snapshot();
+        assert_eq!(snap.msgs_sent, 2);
+        assert_eq!(snap.bytes_sent, 150);
+        assert_eq!(snap.msgs_received, 1);
+        assert_eq!(snap.bytes_received, 10);
+        assert_eq!(snap.round_trips, 1);
+        assert_eq!(snap.total_msgs(), 3);
+    }
+
+    #[test]
+    fn since_diffs_counters() {
+        let s = NetStats::new();
+        s.record_send(5);
+        let before = s.snapshot();
+        s.record_send(7);
+        s.record_receive(3);
+        let diff = s.snapshot().since(&before);
+        assert_eq!(diff.msgs_sent, 1);
+        assert_eq!(diff.bytes_sent, 7);
+        assert_eq!(diff.msgs_received, 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let s = std::sync::Arc::new(NetStats::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_send(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().msgs_sent, 8000);
+    }
+}

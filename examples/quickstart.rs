@@ -1,0 +1,59 @@
+//! Quickstart: a 3-of-5 erasure-coded storage service in a few lines.
+//!
+//! Sets up five storage nodes and two clients, writes and reads logical
+//! blocks, then crashes a node and shows online recovery repairing it
+//! transparently.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ajx_cluster::Cluster;
+use ajx_core::{ProtocolConfig, UpdateStrategy};
+use ajx_storage::{NodeId, StripeId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 3-of-5 Reed-Solomon code: 3 data + 2 redundant blocks per stripe,
+    // tolerating any 2 simultaneous storage-node crashes with only 66%
+    // space overhead (versus 200% for 3-way replication).
+    let cfg = ProtocolConfig::new(3, 5, 1024)?
+        .with_strategy(UpdateStrategy::Parallel);
+    cfg.validate().expect("configuration within the paper's bounds");
+    let cluster = Cluster::new(cfg, 2);
+
+    println!("== writing 12 blocks through client 0 ==");
+    for lb in 0..12u64 {
+        cluster.client(0).write_block(lb, vec![lb as u8 + 1; 1024])?;
+    }
+    println!("   a write is 1 swap + 2 adds: no locks, no 2-phase commit");
+
+    println!("== reading them back through client 1 ==");
+    for lb in 0..12u64 {
+        let v = cluster.client(1).read_block(lb)?;
+        assert_eq!(v, vec![lb as u8 + 1; 1024]);
+    }
+    println!("   a read is a single round trip to one storage node");
+
+    println!("== crashing storage node 0 ==");
+    cluster.crash_storage_node(NodeId(0));
+    println!(
+        "   stripe 0 consistent? {} (one block lost)",
+        cluster.stripe_is_consistent(StripeId(0))
+    );
+
+    println!("== reading through the failure ==");
+    // The first read that touches the crashed node triggers the §3.5
+    // directory remap and the Fig. 6 online recovery, then succeeds.
+    for lb in 0..12u64 {
+        let v = cluster.client(1).read_block(lb)?;
+        assert_eq!(v, vec![lb as u8 + 1; 1024]);
+    }
+    println!(
+        "   all data intact; stripe 0 consistent again? {}",
+        cluster.stripe_is_consistent(StripeId(0))
+    );
+
+    // Housekeeping: two GC cycles drain the write bookkeeping (Fig. 7).
+    cluster.client(0).collect_garbage()?;
+    cluster.client(0).collect_garbage()?;
+    println!("== done: {} bytes of node metadata after GC ==", cluster.total_metadata_bytes());
+    Ok(())
+}

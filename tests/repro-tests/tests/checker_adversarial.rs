@@ -1,0 +1,132 @@
+//! Adversarial validation of the consistency checker itself: histories
+//! produced by *deliberately broken* protocol behaviours must be flagged,
+//! and histories allowed by regular-register semantics must pass — so that
+//! a green stress suite actually means something.
+
+use ajx_consistency::{check_regular, History, OpKind, OpRecord};
+use proptest::prelude::*;
+
+fn w(client: u32, start: u64, end: u64, value: u32) -> OpRecord<u32> {
+    OpRecord {
+        client,
+        start,
+        end,
+        op: OpKind::Write { value },
+    }
+}
+
+fn r(client: u32, start: u64, end: u64, value: Option<u32>) -> OpRecord<u32> {
+    OpRecord {
+        client,
+        start,
+        end,
+        op: OpKind::Read { value },
+    }
+}
+
+fn hist(ops: Vec<OpRecord<u32>>) -> History<u32> {
+    let mut h = History::new();
+    for op in ops {
+        h.push(0, op);
+    }
+    h
+}
+
+#[test]
+fn lost_update_is_detected() {
+    // A broken protocol that loses an acknowledged write: the reader later
+    // sees the value from *before* the lost write.
+    let h = hist(vec![
+        w(1, 1, 2, 10),
+        w(1, 3, 4, 20), // acknowledged, then lost
+        r(2, 10, 11, Some(10)),
+    ]);
+    assert!(check_regular(&h).is_err(), "lost update must be flagged");
+}
+
+#[test]
+fn value_fabrication_is_detected() {
+    // A broken decode that returns garbage (e.g. mixing inconsistent
+    // erasure-code blocks — exactly the §3.4 hazard).
+    let h = hist(vec![w(1, 1, 2, 10), w(2, 3, 4, 20), r(3, 5, 6, Some(1337))]);
+    assert!(check_regular(&h).is_err(), "fabricated value must be flagged");
+}
+
+#[test]
+fn read_from_the_future_is_detected() {
+    let h = hist(vec![r(1, 1, 2, Some(5)), w(2, 10, 11, 5)]);
+    assert!(check_regular(&h).is_err());
+}
+
+#[test]
+fn monotonic_single_writer_history_passes() {
+    // The common happy path: one writer, interleaved readers that always
+    // see the freshest completed value.
+    let mut ops = Vec::new();
+    let mut t = 0;
+    for i in 0..20u32 {
+        ops.push(w(1, t, t + 1, i));
+        ops.push(r(2, t + 2, t + 3, Some(i)));
+        t += 4;
+    }
+    assert!(check_regular(&hist(ops)).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any *sequential* (non-overlapping) run where reads return the most
+    /// recent completed write is regular — the checker must never
+    /// false-positive on correct executions.
+    #[test]
+    fn prop_sequential_correct_histories_pass(
+        ops in proptest::collection::vec((any::<bool>(), 0..50u32), 1..40)
+    ) {
+        let mut t = 0u64;
+        let mut last: Option<u32> = None;
+        let mut recs = Vec::new();
+        for (is_write, val) in ops {
+            if is_write {
+                recs.push(w(1, t, t + 1, val));
+                last = Some(val);
+            } else {
+                recs.push(r(2, t, t + 1, last));
+            }
+            t += 2;
+        }
+        prop_assert!(check_regular(&hist(recs)).is_ok());
+    }
+
+    /// Replacing any single read's value with one never written must be
+    /// caught (no silent acceptance of garbage).
+    #[test]
+    fn prop_garbage_injection_is_always_caught(
+        n_writes in 1..10u32,
+        read_at in 0..10u32,
+    ) {
+        let mut recs = Vec::new();
+        let mut t = 0u64;
+        for i in 0..n_writes {
+            recs.push(w(1, t, t + 1, i));
+            t += 2;
+        }
+        let read_at = read_at.min(n_writes);
+        // 0xDEAD was never written.
+        recs.push(r(2, (read_at as u64) * 2 + 1, t + 1, Some(0xDEAD)));
+        prop_assert!(check_regular(&hist(recs)).is_err());
+    }
+
+    /// A stale read (two writes back) is caught whenever the intervening
+    /// write completed before the read began.
+    #[test]
+    fn prop_stale_reads_are_caught(extra_writes in 1..8u32) {
+        let mut recs = vec![w(1, 0, 1, 1000)];
+        let mut t = 2u64;
+        for i in 0..extra_writes {
+            recs.push(w(1, t, t + 1, i));
+            t += 2;
+        }
+        recs.push(r(2, t, t + 1, Some(1000))); // superseded long ago
+        prop_assert!(check_regular(&hist(recs)).is_err());
+    }
+}

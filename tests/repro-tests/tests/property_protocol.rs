@@ -1,0 +1,108 @@
+//! Property tests: random sequential operation schedules (writes, reads,
+//! crashes, recoveries, GC) against a reference model. With no
+//! concurrency, regular-register semantics collapse to sequential
+//! semantics — every read must return exactly the last completed write —
+//! and every quiescent stripe must satisfy the erasure-code equation.
+
+use ajx_cluster::Cluster;
+use ajx_core::ProtocolConfig;
+use ajx_storage::{NodeId, StripeId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { lb: u64, fill: u8 },
+    Read { lb: u64 },
+    CrashNode { node: u32 },
+    MonitorAll,
+    Gc,
+}
+
+fn op_strategy(blocks: u64, nodes: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0..blocks, any::<u8>()).prop_map(|(lb, fill)| Op::Write { lb, fill }),
+        4 => (0..blocks).prop_map(|lb| Op::Read { lb }),
+        1 => (0..nodes).prop_map(|node| Op::CrashNode { node }),
+        1 => Just(Op::MonitorAll),
+        1 => Just(Op::Gc),
+    ]
+}
+
+fn run_schedule(k: usize, n: usize, blocks: u64, ops: &[Op]) {
+    let cfg = ProtocolConfig::new(k, n, 16)
+        .unwrap()
+        .with_failure_thresholds(0, 1);
+    let c = Cluster::new(cfg, 1);
+    let client = c.client(0);
+    let mut model: HashMap<u64, u8> = HashMap::new();
+    let stripes: Vec<StripeId> = (0..blocks.div_ceil(k as u64)).map(StripeId).collect();
+    let mut down: Option<u32> = None;
+
+    for op in ops {
+        match *op {
+            Op::Write { lb, fill } => {
+                client.write_block(lb, vec![fill; 16]).unwrap();
+                model.insert(lb, fill);
+            }
+            Op::Read { lb } => {
+                let got = client.read_block(lb).unwrap();
+                let want = model.get(&lb).copied().unwrap_or(0);
+                assert_eq!(got, vec![want; 16], "block {lb} diverged from model");
+            }
+            Op::CrashNode { node } => {
+                // Keep within t_d = 1: repair any previous victim first.
+                if down.take().is_some() {
+                    client.monitor(&stripes, u64::MAX).unwrap();
+                }
+                c.crash_storage_node(NodeId(node));
+                down = Some(node);
+            }
+            Op::MonitorAll => {
+                client.monitor(&stripes, u64::MAX).unwrap();
+                down = None;
+            }
+            Op::Gc => {
+                client.collect_garbage().unwrap();
+            }
+        }
+    }
+    // Drain failures and check global ground truth.
+    client.monitor(&stripes, u64::MAX).unwrap();
+    for (&lb, &want) in &model {
+        assert_eq!(client.read_block(lb).unwrap(), vec![want; 16]);
+    }
+    for s in &stripes {
+        assert!(c.stripe_is_consistent(*s), "{s} violates the code equation");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn prop_sequential_schedules_match_model_2of4(
+        ops in proptest::collection::vec(op_strategy(8, 4), 1..40)
+    ) {
+        run_schedule(2, 4, 8, &ops);
+    }
+
+    #[test]
+    fn prop_sequential_schedules_match_model_3of5(
+        ops in proptest::collection::vec(op_strategy(9, 5), 1..40)
+    ) {
+        run_schedule(3, 5, 9, &ops);
+    }
+
+    #[test]
+    fn prop_sequential_schedules_match_model_wide_code(
+        ops in proptest::collection::vec(op_strategy(12, 8), 1..30)
+    ) {
+        // 6-of-8: the "highly-efficient" regime with two redundant blocks.
+        run_schedule(6, 8, 12, &ops);
+    }
+}

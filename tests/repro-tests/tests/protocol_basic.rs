@@ -1,0 +1,143 @@
+//! Basic protocol behaviour: failure-free reads and writes through the
+//! full stack (client → transport → storage nodes), across update
+//! strategies, codes, and the logical-block layout.
+
+use ajx_cluster::Cluster;
+use ajx_core::{ProtocolConfig, ProtocolError, UpdateStrategy};
+use ajx_storage::StripeId;
+
+fn cluster(k: usize, n: usize, strategy: UpdateStrategy) -> Cluster {
+    let cfg = ProtocolConfig::new(k, n, 64)
+        .unwrap()
+        .with_strategy(strategy);
+    Cluster::new(cfg, 2)
+}
+
+#[test]
+fn write_then_read_roundtrip_every_strategy() {
+    for strategy in [
+        UpdateStrategy::Serial,
+        UpdateStrategy::Parallel,
+        UpdateStrategy::Hybrid { groups: 2 },
+        UpdateStrategy::Broadcast,
+    ] {
+        let c = cluster(3, 5, strategy);
+        for lb in 0..12u64 {
+            c.client(0)
+                .write_block(lb, vec![lb as u8 + 1; 64])
+                .unwrap_or_else(|e| panic!("write {lb} failed under {strategy:?}: {e}"));
+        }
+        for lb in 0..12u64 {
+            assert_eq!(
+                c.client(1).read_block(lb).unwrap(),
+                vec![lb as u8 + 1; 64],
+                "block {lb} under {strategy:?}"
+            );
+        }
+        for s in 0..4 {
+            assert!(
+                c.stripe_is_consistent(StripeId(s)),
+                "stripe {s} under {strategy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unwritten_blocks_read_as_zero() {
+    let c = cluster(2, 4, UpdateStrategy::Parallel);
+    assert_eq!(c.client(0).read_block(9).unwrap(), vec![0; 64]);
+}
+
+#[test]
+fn overwrites_replace_and_redundancy_follows() {
+    let c = cluster(2, 4, UpdateStrategy::Parallel);
+    for round in 0..5u8 {
+        c.client(0).write_block(3, vec![round; 64]).unwrap();
+        assert_eq!(c.client(1).read_block(3).unwrap(), vec![round; 64]);
+    }
+    let stripe = StripeId(3 / 2);
+    assert!(c.stripe_is_consistent(stripe));
+}
+
+#[test]
+fn wrong_block_size_is_rejected_without_side_effects() {
+    let c = cluster(2, 4, UpdateStrategy::Parallel);
+    let err = c.client(0).write_block(0, vec![1; 63]).unwrap_err();
+    assert!(matches!(
+        err,
+        ProtocolError::BadBlockSize { expected: 64, got: 63 }
+    ));
+    assert_eq!(c.client(0).read_block(0).unwrap(), vec![0; 64]);
+    assert!(c.stripe_is_consistent(StripeId(0)));
+}
+
+#[test]
+fn logical_blocks_span_stripes_with_rotation() {
+    // k = 3: logical blocks 0..3 are stripe 0, 3..6 stripe 1, etc., and
+    // consecutive blocks land on different nodes (§3.11).
+    let c = cluster(3, 5, UpdateStrategy::Parallel);
+    for lb in 0..30u64 {
+        c.client(0).write_block(lb, vec![(lb % 251) as u8; 64]).unwrap();
+    }
+    for lb in 0..30u64 {
+        assert_eq!(
+            c.client(1).read_block(lb).unwrap(),
+            vec![(lb % 251) as u8; 64]
+        );
+    }
+    for s in 0..10 {
+        assert!(c.stripe_is_consistent(StripeId(s)));
+    }
+}
+
+#[test]
+fn distinct_clients_have_independent_sequence_spaces() {
+    let c = cluster(2, 4, UpdateStrategy::Parallel);
+    // Interleave writes from both clients to different blocks of the same
+    // stripe: tids ⟨seq, i, p⟩ differ in the client component, so the
+    // bookkeeping must never confuse them.
+    for i in 0..10 {
+        c.client(0).write_block(0, vec![i; 64]).unwrap();
+        c.client(1).write_block(1, vec![i + 100; 64]).unwrap();
+    }
+    assert_eq!(c.client(0).read_block(1).unwrap(), vec![109; 64]);
+    assert_eq!(c.client(1).read_block(0).unwrap(), vec![9; 64]);
+    assert!(c.stripe_is_consistent(StripeId(0)));
+}
+
+#[test]
+fn large_efficient_code_roundtrip() {
+    // The paper's target regime: large k, small p (here 10-of-12).
+    let cfg = ProtocolConfig::new(10, 12, 32).unwrap();
+    let c = Cluster::new(cfg, 1);
+    for lb in 0..20u64 {
+        c.client(0).write_block(lb, vec![lb as u8; 32]).unwrap();
+    }
+    for lb in 0..20u64 {
+        assert_eq!(c.client(0).read_block(lb).unwrap(), vec![lb as u8; 32]);
+    }
+    assert!(c.stripe_is_consistent(StripeId(0)));
+    assert!(c.stripe_is_consistent(StripeId(1)));
+}
+
+#[test]
+fn read_costs_one_round_trip_and_write_two_messages_per_location() {
+    // Fig. 1's headline common-case costs, measured on the wire.
+    let c = cluster(3, 5, UpdateStrategy::Parallel);
+    let client = c.client(0);
+    client.write_block(0, vec![7; 64]).unwrap(); // warm up placement
+
+    let before = client.endpoint().stats().snapshot();
+    client.read_block(0).unwrap();
+    let read_cost = client.endpoint().stats().snapshot().since(&before);
+    assert_eq!(read_cost.round_trips, 1, "read is 1 RT");
+    assert_eq!(read_cost.msgs_sent, 1);
+
+    let before = client.endpoint().stats().snapshot();
+    client.write_block(0, vec![8; 64]).unwrap();
+    let write_cost = client.endpoint().stats().snapshot().since(&before);
+    // swap + p adds, each one request: 2(p + 1) messages total with p = 2.
+    assert_eq!(write_cost.msgs_sent, 3);
+    assert_eq!(write_cost.total_msgs(), 6);
+}

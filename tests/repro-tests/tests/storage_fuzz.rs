@@ -1,0 +1,220 @@
+//! Fuzzing the storage-node state machine: arbitrary request sequences
+//! must never panic, and a set of structural invariants must hold after
+//! every single operation — the thin server has to be unconditionally
+//! robust because, per the paper's design, *any* client can talk to it in
+//! *any* order (clients "may not know about each other", §2).
+
+use ajx_storage::{
+    AddStatus, ClientId, Epoch, LMode, NodeId, OpMode, Reply, Request, StorageNode, StripeId, Tid,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum FuzzOp {
+    Read,
+    Swap { fill: u8, seq: u64 },
+    Add { fill: u8, seq: u64, otid_seq: Option<u64>, epoch: u64 },
+    CheckTid { seq: u64, otid_seq: u64 },
+    TryLock { lm: u8, caller: u32 },
+    SetLock { lm: u8, caller: u32 },
+    GetState,
+    GetRecent { caller: u32 },
+    Reconstruct { fill: u8 },
+    Finalize { epoch: u64 },
+    GcOld { seqs: Vec<u64> },
+    GcRecent { seqs: Vec<u64> },
+    Probe,
+    FailRemap { garbage: u8 },
+    ClientFailure { caller: u32 },
+}
+
+fn lmode(v: u8) -> LMode {
+    match v % 4 {
+        0 => LMode::Unl,
+        1 => LMode::L0,
+        2 => LMode::L1,
+        _ => LMode::Exp,
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = FuzzOp> {
+    prop_oneof![
+        2 => Just(FuzzOp::Read),
+        4 => (any::<u8>(), 0..32u64).prop_map(|(fill, seq)| FuzzOp::Swap { fill, seq }),
+        4 => (any::<u8>(), 0..32u64, proptest::option::of(0..32u64), 0..3u64)
+            .prop_map(|(fill, seq, otid_seq, epoch)| FuzzOp::Add { fill, seq, otid_seq, epoch }),
+        1 => (0..32u64, 0..32u64).prop_map(|(seq, otid_seq)| FuzzOp::CheckTid { seq, otid_seq }),
+        2 => (any::<u8>(), 0..4u32).prop_map(|(lm, caller)| FuzzOp::TryLock { lm, caller }),
+        2 => (any::<u8>(), 0..4u32).prop_map(|(lm, caller)| FuzzOp::SetLock { lm, caller }),
+        1 => Just(FuzzOp::GetState),
+        1 => (0..4u32).prop_map(|caller| FuzzOp::GetRecent { caller }),
+        1 => any::<u8>().prop_map(|fill| FuzzOp::Reconstruct { fill }),
+        1 => (0..4u64).prop_map(|epoch| FuzzOp::Finalize { epoch }),
+        1 => proptest::collection::vec(0..32u64, 0..4).prop_map(|seqs| FuzzOp::GcOld { seqs }),
+        1 => proptest::collection::vec(0..32u64, 0..4).prop_map(|seqs| FuzzOp::GcRecent { seqs }),
+        1 => Just(FuzzOp::Probe),
+        1 => any::<u8>().prop_map(|garbage| FuzzOp::FailRemap { garbage }),
+        1 => (0..4u32).prop_map(|caller| FuzzOp::ClientFailure { caller }),
+    ]
+}
+
+const BS: usize = 8;
+const STRIPE: StripeId = StripeId(0);
+
+fn tid(seq: u64) -> Tid {
+    Tid::new(seq, 0, ClientId(1))
+}
+
+fn apply(node: &mut StorageNode, op: &FuzzOp) -> Option<Reply> {
+    let req = match op {
+        FuzzOp::Read => Request::Read { stripe: STRIPE },
+        FuzzOp::Swap { fill, seq } => Request::Swap {
+            stripe: STRIPE,
+            value: vec![*fill; BS],
+            ntid: tid(*seq),
+        },
+        FuzzOp::Add { fill, seq, otid_seq, epoch } => Request::Add {
+            stripe: STRIPE,
+            delta: vec![*fill; BS],
+            ntid: tid(*seq),
+            otid: otid_seq.map(tid),
+            epoch: Epoch(*epoch),
+            scale: None,
+        },
+        FuzzOp::CheckTid { seq, otid_seq } => Request::CheckTid {
+            stripe: STRIPE,
+            ntid: tid(*seq),
+            otid: tid(*otid_seq),
+        },
+        FuzzOp::TryLock { lm, caller } => Request::TryLock {
+            stripe: STRIPE,
+            lm: lmode(*lm),
+            caller: ClientId(*caller),
+        },
+        FuzzOp::SetLock { lm, caller } => Request::SetLock {
+            stripe: STRIPE,
+            lm: lmode(*lm),
+            caller: ClientId(*caller),
+        },
+        FuzzOp::GetState => Request::GetState { stripe: STRIPE },
+        FuzzOp::GetRecent { caller } => Request::GetRecent {
+            stripe: STRIPE,
+            lm: LMode::L1,
+            caller: ClientId(*caller),
+        },
+        FuzzOp::Reconstruct { fill } => Request::Reconstruct {
+            stripe: STRIPE,
+            cset: vec![0, 1],
+            block: vec![*fill; BS],
+        },
+        FuzzOp::Finalize { epoch } => Request::Finalize {
+            stripe: STRIPE,
+            epoch: Epoch(*epoch),
+        },
+        FuzzOp::GcOld { seqs } => Request::GcOld {
+            stripe: STRIPE,
+            tids: seqs.iter().map(|&s| tid(s)).collect(),
+        },
+        FuzzOp::GcRecent { seqs } => Request::GcRecent {
+            stripe: STRIPE,
+            tids: seqs.iter().map(|&s| tid(s)).collect(),
+        },
+        FuzzOp::Probe => Request::Probe { stripe: STRIPE },
+        FuzzOp::FailRemap { garbage } => {
+            node.fail_remap(*garbage);
+            return None;
+        }
+        FuzzOp::ClientFailure { caller } => {
+            node.on_client_failure(ClientId(*caller));
+            return None;
+        }
+    };
+    Some(node.handle(req))
+}
+
+fn check_invariants(node: &StorageNode, history_len: usize) {
+    let Some(state) = node.block_state(STRIPE) else {
+        return;
+    };
+    // Block content always has the configured size.
+    assert_eq!(state.raw_block().len(), BS);
+    // Locked modes always name a holder.
+    if state.lmode().is_locked() {
+        assert!(state.lock_holder().is_some(), "lock without holder");
+    }
+    // Metadata is bounded by history length (no runaway duplication).
+    assert!(state.pending_tids() <= history_len + 1);
+    // get_state hides exactly INIT content.
+    // (checked through a fresh clone to avoid ticking the real state)
+    let mut probe = state.clone();
+    let st = probe.get_state();
+    assert_eq!(st.block.is_none(), state.opmode() == OpMode::Init);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn fuzz_state_machine_never_panics_and_keeps_invariants(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let mut node = StorageNode::new(NodeId(0), BS);
+        for (i, op) in ops.iter().enumerate() {
+            let reply = apply(&mut node, op);
+            // Replies are internally consistent.
+            if let Some(Reply::Add(a)) = reply {
+                if a.status == AddStatus::Ok {
+                    assert_eq!(a.opmode, OpMode::Norm, "successful add only in NORM");
+                    assert!(
+                        matches!(a.lmode, LMode::Unl | LMode::L0),
+                        "successful add only when adds are allowed"
+                    );
+                }
+            }
+            check_invariants(&node, i + 1);
+        }
+    }
+
+    #[test]
+    fn fuzz_epoch_is_monotone_under_finalize(
+        epochs in proptest::collection::vec(0..10u64, 1..20)
+    ) {
+        // finalize() installs the epoch recovery computed (max + 1); the
+        // protocol guarantees monotonicity end-to-end, and the node must
+        // faithfully store whatever the recovery layer hands it.
+        let mut node = StorageNode::new(NodeId(0), BS);
+        for e in &epochs {
+            node.handle(Request::Finalize { stripe: STRIPE, epoch: Epoch(*e) });
+            let got = node.block_state(STRIPE).unwrap().epoch();
+            assert_eq!(got, Epoch(*e));
+        }
+    }
+}
+
+#[test]
+fn adversarial_interleaving_swap_lock_remap() {
+    // A regression-style fixed sequence mixing all the awkward transitions.
+    let mut node = StorageNode::new(NodeId(0), BS);
+    let ops = [
+        FuzzOp::Swap { fill: 1, seq: 1 },
+        FuzzOp::TryLock { lm: 2, caller: 9 }, // L1
+        FuzzOp::Swap { fill: 2, seq: 2 },     // rejected (locked)
+        FuzzOp::ClientFailure { caller: 9 },  // lock expires
+        FuzzOp::Swap { fill: 3, seq: 3 },     // rejected (EXP)
+        FuzzOp::TryLock { lm: 2, caller: 5 }, // over EXP: ok
+        FuzzOp::Reconstruct { fill: 7 },
+        FuzzOp::FailRemap { garbage: 0xEE },  // crash mid-recovery
+        FuzzOp::Read,                          // INIT: ⊥
+        FuzzOp::Reconstruct { fill: 8 },
+        FuzzOp::Finalize { epoch: 4 },
+        FuzzOp::Swap { fill: 9, seq: 4 },     // normal again
+    ];
+    for op in &ops {
+        apply(&mut node, op);
+    }
+    let st = node.block_state(STRIPE).unwrap();
+    assert_eq!(st.opmode(), OpMode::Norm);
+    assert_eq!(st.lmode(), LMode::Unl);
+    assert_eq!(st.epoch(), Epoch(4));
+    assert_eq!(st.raw_block(), &[9u8; BS]);
+}

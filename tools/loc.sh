@@ -1,0 +1,15 @@
+#!/bin/sh
+# Lines-of-code inventory (§6.4 analogue). Usage: tools/loc.sh
+set -e
+cd "$(dirname "$0")/.."
+echo "crate                lines"
+echo "--------------------------"
+for c in crates/*/; do
+  name=$(basename "$c")
+  lines=$(find "$c" -name '*.rs' -exec cat {} + | wc -l)
+  printf "%-20s %6d\n" "$name" "$lines"
+done
+printf "%-20s %6d\n" "integration tests" "$(find tests -name '*.rs' -exec cat {} + | wc -l)"
+printf "%-20s %6d\n" "examples" "$(find examples -name '*.rs' -exec cat {} + | wc -l)"
+echo "--------------------------"
+printf "%-20s %6d\n" "total" "$(find crates tests examples -name '*.rs' -exec cat {} + | wc -l)"
