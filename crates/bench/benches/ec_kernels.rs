@@ -6,7 +6,7 @@
 //! encode/decode scale with k.
 
 use ajx_erasure::ReedSolomon;
-use ajx_gf::{slice, textbook};
+use ajx_gf::{kernel, slice, textbook, Gf256};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -14,6 +14,78 @@ const BLOCK: usize = 1024;
 
 fn block(seed: u8) -> Vec<u8> {
     (0..BLOCK).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+}
+
+fn block_of(len: usize, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+}
+
+/// The seed's kernel: build the 256-entry product table for `c` on every
+/// call, then apply it byte by byte. Kept as the bench baseline so the gain
+/// from compile-time tables + wide kernels is measured, not assumed.
+fn seed_mul_add_assign(dst: &mut [u8], c: u8, src: &[u8]) {
+    let mut table = [0u8; 256];
+    Gf256::build_mul_table(c, &mut table);
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d ^= table[s as usize];
+    }
+}
+
+fn bench_backend_tiers(c: &mut Criterion) {
+    // The tentpole claim: per-backend mul_add_assign throughput on blocks
+    // large enough to stream (>= 4 KiB), against the seed's
+    // table-per-call scalar kernel.
+    for len in [4 * 1024usize, 64 * 1024] {
+        let mut group = c.benchmark_group(format!("gf256_mul_add_{}KB_backends", len / 1024));
+        group.throughput(Throughput::Bytes(len as u64));
+        let src = block_of(len, 1);
+        let mut dst = block_of(len, 2);
+        group.bench_function("seed_table_per_call", |b| {
+            b.iter(|| seed_mul_add_assign(black_box(&mut dst), black_box(0x57), black_box(&src)));
+        });
+        for backend in kernel::available_backends() {
+            group.bench_function(backend.name(), |b| {
+                b.iter(|| {
+                    kernel::mul_add_assign_with(
+                        backend,
+                        black_box(&mut dst),
+                        black_box(0x57),
+                        black_box(&src),
+                    )
+                });
+            });
+        }
+        group.bench_function(format!("dispatch({})", kernel::active_backend().name()), |b| {
+            b.iter(|| slice::mul_add_assign(black_box(&mut dst), black_box(0x57), black_box(&src)));
+        });
+        group.finish();
+    }
+}
+
+fn bench_fused_multi(c: &mut Criterion) {
+    // Fused encode inner loop: stream one 64 KiB data block through p
+    // redundant rows at once vs p separate passes.
+    let len = 64 * 1024;
+    let p = 4;
+    let mut group = c.benchmark_group("gf256_mul_add_multi_64KB_p4");
+    group.throughput(Throughput::Bytes((len * p) as u64));
+    let src = block_of(len, 1);
+    let cs: Vec<u8> = (0..p as u8).map(|j| 0x53 ^ j).collect();
+    let mut rows: Vec<Vec<u8>> = (0..p).map(|j| block_of(len, j as u8)).collect();
+    group.bench_function("fused_multi_row", |b| {
+        b.iter(|| {
+            let mut dsts: Vec<&mut [u8]> = rows.iter_mut().map(|r| r.as_mut_slice()).collect();
+            kernel::mul_add_multi(black_box(&mut dsts), black_box(&cs), black_box(&src));
+        });
+    });
+    group.bench_function("row_by_row", |b| {
+        b.iter(|| {
+            for (row, &cc) in rows.iter_mut().zip(&cs) {
+                kernel::mul_add_assign(black_box(row), black_box(cc), black_box(&src));
+            }
+        });
+    });
+    group.finish();
 }
 
 fn bench_mul_add_kernels(c: &mut Criterion) {
@@ -96,6 +168,8 @@ fn bench_wide_field(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_mul_add_kernels,
+    bench_backend_tiers,
+    bench_fused_multi,
     bench_delta_vs_k,
     bench_encode_vs_k,
     bench_decode_vs_k,

@@ -10,7 +10,7 @@
 use ajx_bench::{banner, fmt_us, measure_us, render_table};
 use ajx_core::resilience::tolerated_pairs_serial;
 use ajx_erasure::ReedSolomon;
-use ajx_gf::slice;
+use ajx_gf::{kernel, slice};
 
 const BLOCK: usize = 1024;
 
@@ -82,4 +82,33 @@ fn main() {
     );
     println!("\nDelta/Add are the only compute on the common-case write path;");
     println!("full encode/decode run only during recovery.");
+
+    // Per-backend breakdown of the Delta kernel itself (α·(v − w), 1 KB):
+    // the same measurement for every GF(2⁸) kernel tier this CPU supports.
+    let old: Vec<u8> = (0..BLOCK).map(|b| (b * 31) as u8).collect();
+    let new: Vec<u8> = (0..BLOCK).map(|b| (b * 13 + 5) as u8).collect();
+    let mut out = vec![0u8; BLOCK];
+    let backends = kernel::available_backends();
+    let scalar_us = measure_us(|| {
+        kernel::delta_into_with(kernel::Backend::Scalar, &mut out, 0x57, &new, &old);
+        std::hint::black_box(&out);
+    });
+    let mut krows = Vec::new();
+    for backend in backends {
+        let us = measure_us(|| {
+            kernel::delta_into_with(backend, &mut out, 0x57, &new, &old);
+            std::hint::black_box(&out);
+        });
+        let active = if backend == kernel::active_backend() { " (active)" } else { "" };
+        krows.push(vec![
+            format!("{}{active}", backend.name()),
+            fmt_us(us),
+            format!("{:.1}x", scalar_us / us),
+        ]);
+    }
+    println!("\nGF(2^8) kernel tiers (Delta, 1 KB block):");
+    print!(
+        "{}",
+        render_table(&["backend", "Delta (us)", "speedup vs scalar"], &krows)
+    );
 }

@@ -1,0 +1,90 @@
+//! Per-backend GF(2⁸) kernel throughput, machine-readable.
+//!
+//! Measures `mul_add_assign` MB/s for every kernel tier this CPU supports
+//! (plus the seed's table-per-call scalar kernel as the baseline) and
+//! prints a JSON document on stdout. `tools/kernel_matrix.sh` redirects it
+//! to `BENCH_kernels.json` at the repo root.
+//!
+//! Flags:
+//!
+//! * `--list` — print the supported backend names, one per line, and exit
+//!   (used by the shell script to drive the `GF_BACKEND` test matrix).
+
+use ajx_gf::{kernel, Gf256};
+use std::time::Instant;
+
+/// Block sizes reported: the protocol's 1 KB block, the 4 KiB acceptance
+/// floor, and a streaming 64 KiB block.
+const SIZES: [usize; 3] = [1024, 4 * 1024, 64 * 1024];
+
+/// The seed's kernel: rebuild the 256-entry product table on every call.
+fn seed_mul_add_assign(dst: &mut [u8], c: u8, src: &[u8]) {
+    let mut table = [0u8; 256];
+    Gf256::build_mul_table(c, &mut table);
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d ^= table[s as usize];
+    }
+}
+
+/// Mean MB/s (decimal megabytes) of `op` over enough iterations to run
+/// ~50 ms, after a short warm-up.
+fn mb_per_s<F: FnMut()>(len: usize, mut op: F) -> f64 {
+    let mut iters = 16usize;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        if secs >= 0.05 || iters >= 1 << 22 {
+            return (iters * len) as f64 / secs / 1e6;
+        }
+        iters *= 4;
+    }
+}
+
+fn fill(len: usize, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--list") {
+        for backend in kernel::available_backends() {
+            println!("{}", backend.name());
+        }
+        return;
+    }
+
+    let mut entries = Vec::new();
+    for len in SIZES {
+        let src = fill(len, 1);
+        let mut dst = fill(len, 2);
+        let seed_rate = mb_per_s(len, || {
+            seed_mul_add_assign(std::hint::black_box(&mut dst), 0x57, &src)
+        });
+        let mut backends = Vec::new();
+        for backend in kernel::available_backends() {
+            let rate = mb_per_s(len, || {
+                kernel::mul_add_assign_with(backend, std::hint::black_box(&mut dst), 0x57, &src)
+            });
+            backends.push(format!(
+                "{{\"name\":\"{}\",\"mb_s\":{:.1},\"speedup_vs_seed\":{:.2}}}",
+                backend.name(),
+                rate,
+                rate / seed_rate
+            ));
+        }
+        entries.push(format!(
+            "    {{\"block_bytes\":{len},\"seed_table_per_call_mb_s\":{seed_rate:.1},\"backends\":[{}]}}",
+            backends.join(",")
+        ));
+    }
+
+    println!("{{");
+    println!("  \"kernel\": \"gf256_mul_add_assign\",");
+    println!("  \"active_backend\": \"{}\",", kernel::active_backend().name());
+    println!("  \"sizes\": [");
+    println!("{}", entries.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

@@ -295,14 +295,18 @@ pub(crate) fn recover(
         .collect();
     let blocks = cfg.code.reconstruct_stripe(&shares)?;
 
-    let writes: Vec<_> = (0..n)
-        .map(|t| {
+    // `blocks` owns the reconstructed stripe and has no further use: move
+    // each block into its Reconstruct request rather than cloning n blocks.
+    let writes: Vec<_> = blocks
+        .into_iter()
+        .enumerate()
+        .map(|(t, block)| {
             (
                 node_of(t),
                 Request::Reconstruct {
                     stripe,
                     cset: cset.clone(),
-                    block: blocks[t].clone(),
+                    block,
                 },
             )
         })

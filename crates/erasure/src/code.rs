@@ -43,10 +43,22 @@ pub struct ReedSolomon {
     n: usize,
     /// `p × k` matrix of redundancy coefficients: `red[(j, i)] = α_{k+j, i}`.
     red: Matrix<Gf256>,
+    /// The same coefficients laid out column-major as raw bytes:
+    /// `red_cols[i][j] = α_{k+j, i}`. Precomputed at construction so the
+    /// fused multi-row encode ([`slice::mul_add_multi`]) can stream data
+    /// block `i` through all `p` redundant rows without building anything
+    /// per call. (The per-coefficient product tables themselves are
+    /// compile-time constants in `ajx_gf::kernel`.)
+    red_cols: Vec<Vec<u8>>,
 }
 
 impl ReedSolomon {
     /// Builds the code with `k` data blocks and `n` total blocks.
+    ///
+    /// All per-coefficient state the hot paths need — the column-major
+    /// coefficient layout here, the product/nibble tables in
+    /// `ajx_gf::kernel` — exists after this call; no encode, decode or
+    /// delta ever constructs a table again.
     ///
     /// # Errors
     ///
@@ -66,7 +78,16 @@ impl ReedSolomon {
             .expect("vandermonde on distinct points is invertible");
         let bottom = v.select_rows(&(k..n).collect::<Vec<_>>());
         let red = bottom.mul(&top_inv);
-        Ok(ReedSolomon { k, n, red })
+        let p = n - k;
+        let red_cols = (0..k)
+            .map(|i| (0..p).map(|j| red[(j, i)].as_byte()).collect())
+            .collect();
+        Ok(ReedSolomon {
+            k,
+            n,
+            red,
+            red_cols,
+        })
     }
 
     /// Number of data blocks per stripe.
@@ -103,24 +124,61 @@ impl ReedSolomon {
     /// [`CodeError::WrongBlockCount`] if `data.len() != k`;
     /// [`CodeError::LengthMismatch`] if the blocks differ in length.
     pub fn encode<B: AsRef<[u8]>>(&self, data: &[B]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let len = data.first().map_or(0, |b| b.as_ref().len());
+        let mut out = vec![vec![0u8; len]; self.p()];
+        let mut views: Vec<&mut [u8]> = out.iter_mut().map(|b| b.as_mut_slice()).collect();
+        self.encode_into(data, &mut views)?;
+        Ok(out)
+    }
+
+    /// [`encode`](ReedSolomon::encode) into caller-owned scratch: fills the
+    /// `p` pre-sized blocks of `out` with the redundancy for `data`,
+    /// performing **no heap allocation**. Each data block is streamed once
+    /// through all `p` output rows via the fused multi-row kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::WrongBlockCount`] if `data.len() != k` or
+    /// `out.len() != p`; [`CodeError::LengthMismatch`] if any block length
+    /// disagrees.
+    pub fn encode_into<B: AsRef<[u8]>>(
+        &self,
+        data: &[B],
+        out: &mut [&mut [u8]],
+    ) -> Result<(), CodeError> {
         if data.len() != self.k {
             return Err(CodeError::WrongBlockCount {
                 expected: self.k,
                 got: data.len(),
             });
         }
-        let len = check_equal_lengths(data)?;
-        let mut out = vec![vec![0u8; len]; self.p()];
-        for (j, red_block) in out.iter_mut().enumerate() {
-            for (i, d) in data.iter().enumerate() {
-                slice::mul_add_assign(red_block, self.red[(j, i)].as_byte(), d.as_ref());
-            }
+        if out.len() != self.p() {
+            return Err(CodeError::WrongBlockCount {
+                expected: self.p(),
+                got: out.len(),
+            });
         }
-        Ok(out)
+        let len = check_equal_lengths(data)?;
+        for o in out.iter_mut() {
+            if o.len() != len {
+                return Err(CodeError::LengthMismatch);
+            }
+            o.fill(0);
+        }
+        for (i, d) in data.iter().enumerate() {
+            slice::mul_add_multi(out, &self.red_cols[i], d.as_ref());
+        }
+        Ok(())
     }
 
     /// Computes the full stripe: the `k` data blocks followed by the `p`
     /// redundant blocks.
+    ///
+    /// This clones the data blocks because the returned stripe owns all `n`
+    /// blocks. Callers that already own `data` should use
+    /// [`ReedSolomon::encode_stripe_owned`] (moves the data in, no copy);
+    /// callers that only need to *read* a full stripe should use
+    /// [`ReedSolomon::encode`] and keep borrowing their data blocks.
     ///
     /// # Errors
     ///
@@ -128,6 +186,20 @@ impl ReedSolomon {
     pub fn encode_stripe<B: AsRef<[u8]>>(&self, data: &[B]) -> Result<Vec<Vec<u8>>, CodeError> {
         let red = self.encode(data)?;
         let mut stripe: Vec<Vec<u8>> = data.iter().map(|b| b.as_ref().to_vec()).collect();
+        stripe.extend(red);
+        Ok(stripe)
+    }
+
+    /// [`encode_stripe`](ReedSolomon::encode_stripe) taking the data blocks
+    /// by value: the returned stripe reuses them directly instead of copying
+    /// all `k` blocks, so only the `p` redundant blocks are allocated.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReedSolomon::encode`].
+    pub fn encode_stripe_owned(&self, data: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, CodeError> {
+        let red = self.encode(&data)?;
+        let mut stripe = data;
         stripe.extend(red);
         Ok(stripe)
     }
@@ -145,14 +217,38 @@ impl ReedSolomon {
     /// [`CodeError::IndexOutOfRange`] / [`CodeError::DuplicateShare`] on bad
     /// indices; [`CodeError::LengthMismatch`] on ragged blocks.
     pub fn decode(&self, shares: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>, CodeError> {
-        if shares.len() != self.k {
+        let indices: Vec<usize> = shares.iter().map(|&(idx, _)| idx).collect();
+        let plan = self.plan_decode(&indices)?;
+        let blocks: Vec<&[u8]> = shares.iter().map(|&(_, b)| b).collect();
+        let len = check_equal_lengths(&blocks)?;
+        let mut data = vec![vec![0u8; len]; self.k];
+        let mut views: Vec<&mut [u8]> = data.iter_mut().map(|b| b.as_mut_slice()).collect();
+        plan.decode_into(&blocks, &mut views)?;
+        Ok(data)
+    }
+
+    /// Precomputes everything needed to decode from the given set of share
+    /// indices: validates the set, inverts the k×k system **once**, and
+    /// stores the inverse column-major. Recovery decodes the same erasure
+    /// pattern for every stripe on a failed node, so hoisting the inversion
+    /// out of the per-stripe loop — and pairing the plan with
+    /// [`DecodePlan::decode_into`] — makes the per-stripe cost pure kernel
+    /// streaming with no allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::WrongBlockCount`] unless exactly `k` indices are given;
+    /// [`CodeError::IndexOutOfRange`] / [`CodeError::DuplicateShare`] on bad
+    /// indices.
+    pub fn plan_decode(&self, indices: &[usize]) -> Result<DecodePlan, CodeError> {
+        if indices.len() != self.k {
             return Err(CodeError::WrongBlockCount {
                 expected: self.k,
-                got: shares.len(),
+                got: indices.len(),
             });
         }
         let mut seen = vec![false; self.n];
-        for &(idx, _) in shares {
+        for &idx in indices {
             if idx >= self.n {
                 return Err(CodeError::IndexOutOfRange { index: idx, n: self.n });
             }
@@ -161,14 +257,12 @@ impl ReedSolomon {
             }
             seen[idx] = true;
         }
-        let blocks: Vec<&[u8]> = shares.iter().map(|&(_, b)| b).collect();
-        let len = check_equal_lengths(&blocks)?;
 
         // Row for share `idx`: unit vector for data blocks, coefficient row
         // for redundant blocks. The k×k system is invertible by MDS-ness.
-        let rows: Vec<Vec<Gf256>> = shares
+        let rows: Vec<Vec<Gf256>> = indices
             .iter()
-            .map(|&(idx, _)| {
+            .map(|&idx| {
                 if idx < self.k {
                     let mut row = vec![Gf256::ZERO; self.k];
                     row[idx] = Gf256::ONE;
@@ -181,13 +275,16 @@ impl ReedSolomon {
         let m = Matrix::from_rows(rows);
         let inv = m.inverted().ok_or(CodeError::NotDecodable)?;
 
-        let mut data = vec![vec![0u8; len]; self.k];
-        for (i, out) in data.iter_mut().enumerate() {
-            for (s, &(_, share)) in shares.iter().enumerate() {
-                slice::mul_add_assign(out, inv[(i, s)].as_byte(), share);
-            }
-        }
-        Ok(data)
+        // Column s of the inverse holds, for each output row i, the weight
+        // of share s — exactly the coefficient vector mul_add_multi wants.
+        let inv_cols: Vec<Vec<u8>> = (0..self.k)
+            .map(|s| (0..self.k).map(|i| inv[(i, s)].as_byte()).collect())
+            .collect();
+        Ok(DecodePlan {
+            k: self.k,
+            indices: indices.to_vec(),
+            inv_cols,
+        })
     }
 
     /// Recovers the **entire stripe** (all `n` blocks) from any `k` shares:
@@ -200,7 +297,7 @@ impl ReedSolomon {
     /// Same conditions as [`ReedSolomon::decode`].
     pub fn reconstruct_stripe(&self, shares: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>, CodeError> {
         let data = self.decode(shares)?;
-        self.encode_stripe(&data)
+        self.encode_stripe_owned(data)
     }
 
     /// The increment a client sends redundant node `k + j` when data block
@@ -215,13 +312,37 @@ impl ReedSolomon {
     ///
     /// Panics if `j ≥ p` or `i ≥ k`.
     pub fn delta(&self, j: usize, i: usize, new: &[u8], old: &[u8]) -> Result<Vec<u8>, CodeError> {
-        if new.len() != old.len() {
+        let mut out = vec![0u8; new.len()];
+        self.delta_into_buf(j, i, new, old, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`delta`](ReedSolomon::delta) into a caller-owned buffer — the
+    /// allocation-free form for clients that update many redundant nodes per
+    /// write and reuse one scratch block.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::LengthMismatch`] if `new`, `old` and `out` are not all
+    /// the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j ≥ p` or `i ≥ k`.
+    pub fn delta_into_buf(
+        &self,
+        j: usize,
+        i: usize,
+        new: &[u8],
+        old: &[u8],
+        out: &mut [u8],
+    ) -> Result<(), CodeError> {
+        if new.len() != old.len() || out.len() != new.len() {
             return Err(CodeError::LengthMismatch);
         }
         let c = self.coefficient(j, i);
-        let mut out = vec![0u8; new.len()];
-        slice::delta_into(&mut out, c.as_byte(), new, old);
-        Ok(out)
+        slice::delta_into(out, c.as_byte(), new, old);
+        Ok(())
     }
 
     /// The *broadcast* form of the increment (§3.11): the client sends the
@@ -244,10 +365,23 @@ impl ReedSolomon {
     /// a write to data block `i`: computes `α_ji · diff` (the node-side
     /// multiply of §3.11).
     pub fn scale_broadcast_delta(&self, j: usize, i: usize, diff: &[u8]) -> Vec<u8> {
-        let c = self.coefficient(j, i);
         let mut out = diff.to_vec();
-        slice::mul_assign(&mut out, c.as_byte());
+        self.scale_in_place(j, i, &mut out);
         out
+    }
+
+    /// The in-place form of [`scale_broadcast_delta`]: scales an
+    /// **owned** broadcast difference by `α_ji` without copying it first —
+    /// what a storage node does to the delta it just received.
+    ///
+    /// [`scale_broadcast_delta`]: ReedSolomon::scale_broadcast_delta
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j ≥ p` or `i ≥ k`.
+    pub fn scale_in_place(&self, j: usize, i: usize, diff: &mut [u8]) {
+        let c = self.coefficient(j, i);
+        slice::mul_assign(diff, c.as_byte());
     }
 
     /// Checks that a full stripe is consistent with the code (redundant
@@ -272,6 +406,80 @@ impl ReedSolomon {
             .iter()
             .zip(&stripe[self.k..])
             .all(|(a, b)| a.as_slice() == b.as_ref()))
+    }
+}
+
+/// A prepared decode for one fixed erasure pattern: the k×k inverse is
+/// computed once by [`ReedSolomon::plan_decode`] and reused across stripes.
+///
+/// # Example
+///
+/// ```
+/// use ajx_erasure::ReedSolomon;
+///
+/// # fn main() -> Result<(), ajx_erasure::CodeError> {
+/// let rs = ReedSolomon::new(2, 4)?;
+/// let stripe = rs.encode_stripe(&[vec![7u8; 8], vec![9u8; 8]])?;
+/// // Blocks 0 and 2 survive; decode every stripe with one plan.
+/// let plan = rs.plan_decode(&[0, 2])?;
+/// let mut out = vec![vec![0u8; 8]; 2];
+/// let mut views: Vec<&mut [u8]> = out.iter_mut().map(|b| b.as_mut_slice()).collect();
+/// plan.decode_into(&[&stripe[0], &stripe[2]], &mut views)?;
+/// assert_eq!(out[0], vec![7u8; 8]);
+/// assert_eq!(out[1], vec![9u8; 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct DecodePlan {
+    k: usize,
+    indices: Vec<usize>,
+    /// The k×k inverse stored column-major: `inv_cols[s][i]` is the weight
+    /// of share `s` in output data block `i` — one ready-made coefficient
+    /// vector per share for the fused multi-row kernel.
+    inv_cols: Vec<Vec<u8>>,
+}
+
+impl DecodePlan {
+    /// The share indices this plan decodes from, in the order `decode_into`
+    /// expects the share blocks.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Decodes `shares` (blocks in [`indices`](DecodePlan::indices) order)
+    /// into the `k` pre-sized blocks of `out`, performing **no heap
+    /// allocation**: each share is streamed once through all `k` output rows
+    /// with the precomputed inverse column as coefficients.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::WrongBlockCount`] on wrong share/output counts;
+    /// [`CodeError::LengthMismatch`] on ragged blocks.
+    pub fn decode_into(&self, shares: &[&[u8]], out: &mut [&mut [u8]]) -> Result<(), CodeError> {
+        if shares.len() != self.k {
+            return Err(CodeError::WrongBlockCount {
+                expected: self.k,
+                got: shares.len(),
+            });
+        }
+        if out.len() != self.k {
+            return Err(CodeError::WrongBlockCount {
+                expected: self.k,
+                got: out.len(),
+            });
+        }
+        let len = check_equal_lengths(shares)?;
+        for o in out.iter_mut() {
+            if o.len() != len {
+                return Err(CodeError::LengthMismatch);
+            }
+            o.fill(0);
+        }
+        for (s, share) in shares.iter().enumerate() {
+            slice::mul_add_multi(out, &self.inv_cols[s], share);
+        }
+        Ok(())
     }
 }
 
@@ -428,6 +636,107 @@ mod tests {
         ajx_gf::slice::add_assign(&mut stripe[3], &d1[1]);
 
         assert_eq!(stripe, rs.encode_stripe(&[c, d]).unwrap());
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_is_reusable() {
+        let rs = ReedSolomon::new(3, 6).unwrap();
+        let mut scratch = vec![vec![0xEEu8; 40]; rs.p()];
+        for seed in 0..4 {
+            let data = random_data(3, 40, seed);
+            let mut views: Vec<&mut [u8]> =
+                scratch.iter_mut().map(|b| b.as_mut_slice()).collect();
+            rs.encode_into(&data, &mut views).unwrap();
+            assert_eq!(scratch, rs.encode(&data).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn encode_into_validates_shapes() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let data = random_data(2, 8, 0);
+        let mut short = vec![vec![0u8; 8]];
+        let mut views: Vec<&mut [u8]> = short.iter_mut().map(|b| b.as_mut_slice()).collect();
+        assert!(matches!(
+            rs.encode_into(&data, &mut views),
+            Err(CodeError::WrongBlockCount { .. })
+        ));
+        let mut ragged = vec![vec![0u8; 8], vec![0u8; 9]];
+        let mut views: Vec<&mut [u8]> = ragged.iter_mut().map(|b| b.as_mut_slice()).collect();
+        assert!(matches!(
+            rs.encode_into(&data, &mut views),
+            Err(CodeError::LengthMismatch)
+        ));
+    }
+
+    #[test]
+    fn encode_stripe_owned_matches_encode_stripe() {
+        let rs = ReedSolomon::new(3, 5).unwrap();
+        let data = random_data(3, 24, 11);
+        assert_eq!(
+            rs.encode_stripe_owned(data.clone()).unwrap(),
+            rs.encode_stripe(&data).unwrap()
+        );
+    }
+
+    #[test]
+    fn decode_plan_reused_across_stripes() {
+        let rs = ReedSolomon::new(3, 6).unwrap();
+        let plan = rs.plan_decode(&[1, 4, 5]).unwrap();
+        assert_eq!(plan.indices(), &[1, 4, 5]);
+        let mut out = vec![vec![0u8; 32]; 3];
+        for seed in 0..4 {
+            let data = random_data(3, 32, seed + 100);
+            let stripe = rs.encode_stripe(&data).unwrap();
+            let shares: Vec<&[u8]> = vec![&stripe[1], &stripe[4], &stripe[5]];
+            let mut views: Vec<&mut [u8]> = out.iter_mut().map(|b| b.as_mut_slice()).collect();
+            plan.decode_into(&shares, &mut views).unwrap();
+            assert_eq!(out, data, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn plan_decode_validates_indices() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        assert!(matches!(
+            rs.plan_decode(&[0]),
+            Err(CodeError::WrongBlockCount { .. })
+        ));
+        assert!(matches!(
+            rs.plan_decode(&[0, 0]),
+            Err(CodeError::DuplicateShare { .. })
+        ));
+        assert!(matches!(
+            rs.plan_decode(&[0, 9]),
+            Err(CodeError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_into_buf_matches_delta() {
+        let rs = ReedSolomon::new(4, 7).unwrap();
+        let old = random_data(1, 20, 21).pop().unwrap();
+        let new = random_data(1, 20, 22).pop().unwrap();
+        let mut buf = vec![0u8; 20];
+        for j in 0..rs.p() {
+            rs.delta_into_buf(j, 2, &new, &old, &mut buf).unwrap();
+            assert_eq!(buf, rs.delta(j, 2, &new, &old).unwrap(), "row {j}");
+        }
+        assert!(matches!(
+            rs.delta_into_buf(0, 0, &new, &old, &mut [0u8; 3]),
+            Err(CodeError::LengthMismatch)
+        ));
+    }
+
+    #[test]
+    fn scale_in_place_matches_scale_broadcast_delta() {
+        let rs = ReedSolomon::new(3, 6).unwrap();
+        let diff = random_data(1, 16, 33).pop().unwrap();
+        for j in 0..rs.p() {
+            let mut owned = diff.clone();
+            rs.scale_in_place(j, 1, &mut owned);
+            assert_eq!(owned, rs.scale_broadcast_delta(j, 1, &diff), "row {j}");
+        }
     }
 
     #[test]

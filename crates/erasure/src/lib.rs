@@ -47,7 +47,7 @@ mod linear;
 mod matrix;
 mod wide;
 
-pub use code::{ReedSolomon, MAX_N};
+pub use code::{DecodePlan, ReedSolomon, MAX_N};
 pub use error::CodeError;
 pub use layout::{NodeIndex, Placement, Role, StripeLayout};
 pub use linear::{toy_2_of_4, LinearCode};

@@ -41,8 +41,8 @@ const fn generate_tables() -> ([u8; 510], [u8; 256]) {
     (exp, log)
 }
 
-const EXP: [u8; 510] = TABLES.0;
-const LOG: [u8; 256] = TABLES.1;
+pub(crate) const EXP: [u8; 510] = TABLES.0;
+pub(crate) const LOG: [u8; 256] = TABLES.1;
 
 /// An element of GF(2⁸).
 ///

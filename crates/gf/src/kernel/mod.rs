@@ -1,0 +1,529 @@
+//! Tiered GF(2⁸) bulk-multiply kernel engine.
+//!
+//! The protocol's hot path is `dst ^= c·src` over whole blocks (encode rows,
+//! delta updates, decode back-substitution). This module provides that kernel
+//! at four implementation tiers, selected **once** per process:
+//!
+//! | backend  | technique                                   | width      |
+//! |----------|---------------------------------------------|------------|
+//! | `scalar` | per-coefficient 256-entry product table     | 1 B/step   |
+//! | `swar`   | branchless lanewise shift-add on `u64`      | 8 B/step   |
+//! | `ssse3`  | split-nibble tables via `_mm_shuffle_epi8`  | 16 B/step  |
+//! | `avx2`   | same tables via `_mm256_shuffle_epi8`       | 32 B/step  |
+//!
+//! All coefficient tables — the full 256-entry product table per coefficient
+//! used by the scalar tier, and the 16+16-entry low/high-nibble tables used
+//! by the SIMD tiers — are **generated at compile time** for all 255
+//! nontrivial coefficients ([`MUL_TABLES`], [`NIB_TABLES`]). No kernel call
+//! ever builds a table at runtime; the old per-call
+//! [`Gf256::build_mul_table`](crate::Gf256::build_mul_table) cost is gone
+//! entirely.
+//!
+//! # Backend selection
+//!
+//! [`active_backend`] picks the widest backend the CPU supports (via
+//! `is_x86_feature_detected!`) the first time any kernel runs, and caches the
+//! choice in a `OnceLock`. The `GF_BACKEND` environment variable
+//! (`scalar`|`swar`|`ssse3`|`avx2`) overrides detection — requesting a
+//! backend the CPU cannot run panics at startup rather than faulting later.
+//! Per-backend entry points (`*_with`) bypass dispatch for differential
+//! testing and benchmarking.
+//!
+//! # Safety
+//!
+//! `unsafe` is confined to [`x86`] (raw SIMD intrinsics behind
+//! `#[target_feature]`); every other module in this crate remains
+//! `#![deny(unsafe_code)]`-clean, and the dispatcher guarantees an x86 kernel
+//! is only ever invoked after the corresponding CPUID feature check.
+
+use std::sync::OnceLock;
+
+pub(crate) mod scalar;
+pub(crate) mod swar;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86;
+
+use crate::gf256::{EXP, LOG};
+
+/// Slices shorter than this skip table lookups entirely and multiply each
+/// byte directly through the log/exp tables: for a handful of bytes the
+/// 768-byte log/exp working set is cheaper to touch than a cold 256-byte
+/// product-table row, and the SIMD setup (broadcasts, masks) never pays for
+/// itself.
+pub const SMALL_SLICE_LEN: usize = 16;
+
+const fn build_full_tables() -> [[u8; 256]; 256] {
+    let mut t = [[0u8; 256]; 256];
+    let mut c = 1usize;
+    while c < 256 {
+        let log_c = LOG[c] as usize;
+        let mut x = 1usize;
+        while x < 256 {
+            t[c][x] = EXP[log_c + LOG[x] as usize];
+            x += 1;
+        }
+        c += 1;
+    }
+    t
+}
+
+const fn build_nib_tables() -> [[u8; 32]; 256] {
+    let mut t = [[0u8; 32]; 256];
+    let mut c = 1usize;
+    while c < 256 {
+        let log_c = LOG[c] as usize;
+        let mut n = 1usize;
+        while n < 16 {
+            // low-nibble products c·n and high-nibble products c·(n<<4);
+            // byte product = lo ^ hi by linearity of · over XOR.
+            t[c][n] = EXP[log_c + LOG[n] as usize];
+            t[c][16 + n] = EXP[log_c + LOG[n << 4] as usize];
+            n += 1;
+        }
+        c += 1;
+    }
+    t
+}
+
+/// `MUL_TABLES[c][x] = c·x` — full product tables for every coefficient,
+/// generated at compile time (64 KiB of read-only data).
+pub static MUL_TABLES: [[u8; 256]; 256] = build_full_tables();
+
+/// `NIB_TABLES[c][0..16] = c·n`, `NIB_TABLES[c][16..32] = c·(n<<4)` — the
+/// split-nibble tables consumed by PSHUFB-style SIMD kernels (8 KiB).
+pub static NIB_TABLES: [[u8; 32]; 256] = build_nib_tables();
+
+/// One implementation tier of the multiply kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Per-coefficient 256-entry table, one byte per step.
+    Scalar,
+    /// Portable branchless shift-add over `u64` lanes, 8 bytes per step.
+    Swar,
+    /// SSSE3 `_mm_shuffle_epi8` nibble tables, 16 bytes per step.
+    #[cfg(target_arch = "x86_64")]
+    Ssse3,
+    /// AVX2 `_mm256_shuffle_epi8` nibble tables, 32 bytes per step.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+impl Backend {
+    /// The backend's `GF_BACKEND` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Swar => "swar",
+            #[cfg(target_arch = "x86_64")]
+            Backend::Ssse3 => "ssse3",
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a `GF_BACKEND` value. Unknown names return `None`.
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" | "table" => Some(Backend::Scalar),
+            "swar" => Some(Backend::Swar),
+            #[cfg(target_arch = "x86_64")]
+            "ssse3" => Some(Backend::Ssse3),
+            #[cfg(target_arch = "x86_64")]
+            "avx2" => Some(Backend::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Whether this CPU can execute the backend.
+    pub fn is_supported(self) -> bool {
+        match self {
+            Backend::Scalar | Backend::Swar => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Ssse3 => std::arch::is_x86_feature_detected!("ssse3"),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+        }
+    }
+}
+
+/// Every backend this CPU supports, widest last.
+pub fn available_backends() -> Vec<Backend> {
+    let mut v = vec![Backend::Scalar, Backend::Swar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if Backend::Ssse3.is_supported() {
+            v.push(Backend::Ssse3);
+        }
+        if Backend::Avx2.is_supported() {
+            v.push(Backend::Avx2);
+        }
+    }
+    v
+}
+
+static ACTIVE: OnceLock<Backend> = OnceLock::new();
+
+/// The backend used by the dispatching kernels, chosen once per process.
+///
+/// Honors `GF_BACKEND` (`scalar`|`swar`|`ssse3`|`avx2`) if set, otherwise
+/// picks the widest supported tier.
+///
+/// # Panics
+///
+/// Panics on the first call if `GF_BACKEND` names an unknown backend or one
+/// this CPU cannot execute — failing fast beats faulting in a SIMD kernel.
+pub fn active_backend() -> Backend {
+    *ACTIVE.get_or_init(|| match std::env::var("GF_BACKEND") {
+        Ok(name) => {
+            let b = Backend::from_name(&name)
+                .unwrap_or_else(|| panic!("GF_BACKEND={name:?} is not a known backend"));
+            assert!(
+                b.is_supported(),
+                "GF_BACKEND={name:?} is not supported by this CPU"
+            );
+            b
+        }
+        Err(_) => *available_backends().last().expect("scalar always present"),
+    })
+}
+
+/// `dst[i] ^= c·src[i]` on the active backend.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn mul_add_assign(dst: &mut [u8], c: u8, src: &[u8]) {
+    mul_add_assign_with(active_backend(), dst, c, src);
+}
+
+/// `dst[i] ^= c·src[i]` on an explicit backend (differential tests, benches).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_add_assign_with(backend: Backend, dst: &mut [u8], c: u8, src: &[u8]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "mul_add_assign requires equal-length blocks"
+    );
+    match c {
+        0 => {}
+        1 => add_assign(dst, src),
+        _ => {
+            if dst.len() < SMALL_SLICE_LEN {
+                return small_mul_add(dst, c, src);
+            }
+            match backend {
+                Backend::Scalar => scalar::mul_add_assign(dst, c, src),
+                Backend::Swar => swar::mul_add_assign(dst, c, src),
+                #[cfg(target_arch = "x86_64")]
+                Backend::Ssse3 => x86::mul_add_assign_ssse3(dst, c, src),
+                #[cfg(target_arch = "x86_64")]
+                Backend::Avx2 => x86::mul_add_assign_avx2(dst, c, src),
+            }
+        }
+    }
+}
+
+/// `dst[i] = c·dst[i]` on the active backend.
+#[inline]
+pub fn mul_assign(dst: &mut [u8], c: u8) {
+    mul_assign_with(active_backend(), dst, c);
+}
+
+/// `dst[i] = c·dst[i]` on an explicit backend.
+pub fn mul_assign_with(backend: Backend, dst: &mut [u8], c: u8) {
+    match c {
+        0 => dst.fill(0),
+        1 => {}
+        _ => {
+            if dst.len() < SMALL_SLICE_LEN {
+                return small_mul(dst, c);
+            }
+            match backend {
+                Backend::Scalar => scalar::mul_assign(dst, c),
+                Backend::Swar => swar::mul_assign(dst, c),
+                #[cfg(target_arch = "x86_64")]
+                Backend::Ssse3 => x86::mul_assign_ssse3(dst, c),
+                #[cfg(target_arch = "x86_64")]
+                Backend::Avx2 => x86::mul_assign_avx2(dst, c),
+            }
+        }
+    }
+}
+
+/// `out[i] = c·(a[i] ^ b[i])` on the active backend — fused subtract-scale.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+#[inline]
+pub fn delta_into(out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
+    delta_into_with(active_backend(), out, c, a, b);
+}
+
+/// `out[i] = c·(a[i] ^ b[i])` on an explicit backend.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn delta_into_with(backend: Backend, out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
+    assert_eq!(a.len(), b.len(), "delta_into requires equal-length blocks");
+    assert_eq!(out.len(), a.len(), "delta_into requires equal-length blocks");
+    match c {
+        0 => out.fill(0),
+        1 => {
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                *o = x ^ y;
+            }
+        }
+        _ => {
+            if out.len() < SMALL_SLICE_LEN {
+                return small_delta(out, c, a, b);
+            }
+            match backend {
+                Backend::Scalar => scalar::delta_into(out, c, a, b),
+                Backend::Swar => swar::delta_into(out, c, a, b),
+                #[cfg(target_arch = "x86_64")]
+                Backend::Ssse3 => x86::delta_into_ssse3(out, c, a, b),
+                #[cfg(target_arch = "x86_64")]
+                Backend::Avx2 => x86::delta_into_avx2(out, c, a, b),
+            }
+        }
+    }
+}
+
+/// `dsts[j][i] ^= cs[j]·src[i]` for all rows `j` — the fused multi-
+/// destination kernel behind full encode. Streams `src` once, tile by tile,
+/// through all destination rows while the tile is hot in L1, instead of
+/// re-reading `src` from L2/DRAM once per row.
+///
+/// # Panics
+///
+/// Panics if `dsts` and `cs` lengths differ, or any row length differs from
+/// `src`.
+#[inline]
+pub fn mul_add_multi(dsts: &mut [&mut [u8]], cs: &[u8], src: &[u8]) {
+    mul_add_multi_with(active_backend(), dsts, cs, src);
+}
+
+/// Tile size for [`mul_add_multi`]: comfortably inside a 32 KiB L1d next to
+/// one destination tile and the lookup tables.
+const MULTI_TILE: usize = 8 * 1024;
+
+/// [`mul_add_multi`] on an explicit backend.
+///
+/// # Panics
+///
+/// Panics if `dsts` and `cs` lengths differ, or any row length differs from
+/// `src`.
+pub fn mul_add_multi_with(backend: Backend, dsts: &mut [&mut [u8]], cs: &[u8], src: &[u8]) {
+    assert_eq!(
+        dsts.len(),
+        cs.len(),
+        "mul_add_multi requires one coefficient per destination row"
+    );
+    for d in dsts.iter() {
+        assert_eq!(
+            d.len(),
+            src.len(),
+            "mul_add_multi requires equal-length blocks"
+        );
+    }
+    let len = src.len();
+    let mut start = 0;
+    while start < len {
+        let end = (start + MULTI_TILE).min(len);
+        for (d, &c) in dsts.iter_mut().zip(cs) {
+            mul_add_assign_with(backend, &mut d[start..end], c, &src[start..end]);
+        }
+        start = end;
+    }
+}
+
+/// `dst[i] ^= src[i]` — plain XOR; backend-independent because LLVM already
+/// vectorizes it optimally.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn add_assign(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "add_assign requires equal-length blocks"
+    );
+    let mid = dst.len() - dst.len() % 8;
+    let (dh, dt) = dst.split_at_mut(mid);
+    let (sh, st) = src.split_at(mid);
+    for (d, s) in dh.iter_mut().zip(sh) {
+        *d ^= *s;
+    }
+    for (d, s) in dt.iter_mut().zip(st) {
+        *d ^= *s;
+    }
+}
+
+// ---- small-slice fast path (satellite: direct log/exp, no table row) ----
+
+#[inline]
+fn small_mul_add(dst: &mut [u8], c: u8, src: &[u8]) {
+    let log_c = LOG[c as usize] as usize;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        if s != 0 {
+            *d ^= EXP[log_c + LOG[s as usize] as usize];
+        }
+    }
+}
+
+#[inline]
+fn small_mul(dst: &mut [u8], c: u8) {
+    let log_c = LOG[c as usize] as usize;
+    for d in dst.iter_mut() {
+        if *d != 0 {
+            *d = EXP[log_c + LOG[*d as usize] as usize];
+        }
+    }
+}
+
+#[inline]
+fn small_delta(out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
+    let log_c = LOG[c as usize] as usize;
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        let s = x ^ y;
+        *o = if s == 0 {
+            0
+        } else {
+            EXP[log_c + LOG[s as usize] as usize]
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::textbook;
+    use proptest::prelude::*;
+
+    fn oracle_mul_add(dst: &[u8], c: u8, src: &[u8]) -> Vec<u8> {
+        dst.iter()
+            .zip(src)
+            .map(|(&d, &s)| d ^ textbook::mul(c, s))
+            .collect()
+    }
+
+    #[test]
+    fn static_tables_match_textbook() {
+        for c in 0..=255usize {
+            for x in 0..=255usize {
+                assert_eq!(MUL_TABLES[c][x], textbook::mul(c as u8, x as u8));
+            }
+            for n in 0..16usize {
+                assert_eq!(NIB_TABLES[c][n], textbook::mul(c as u8, n as u8));
+                assert_eq!(NIB_TABLES[c][16 + n], textbook::mul(c as u8, (n << 4) as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn nibble_split_reconstructs_full_product() {
+        for c in 1..=255usize {
+            for x in 0..=255usize {
+                let lo = NIB_TABLES[c][x & 0x0f];
+                let hi = NIB_TABLES[c][16 + (x >> 4)];
+                assert_eq!(lo ^ hi, MUL_TABLES[c][x], "c={c} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in available_backends() {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+            assert!(b.is_supported());
+        }
+        assert_eq!(Backend::from_name("no-such-backend"), None);
+    }
+
+    #[test]
+    fn active_backend_is_supported() {
+        assert!(active_backend().is_supported());
+    }
+
+    #[test]
+    fn every_backend_handles_all_lengths_and_coefficients() {
+        // Deliberately covers lengths straddling every kernel's step width
+        // (1, 8, 16, 32) and the small-slice threshold.
+        let lens = [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 100, 255, 1024];
+        for backend in available_backends() {
+            for &len in &lens {
+                let src: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+                let dst0: Vec<u8> = (0..len).map(|i| (i * 101 + 5) as u8).collect();
+                for c in [0u8, 1, 2, 3, 0x1d, 0x80, 0xfe, 0xff] {
+                    let mut dst = dst0.clone();
+                    mul_add_assign_with(backend, &mut dst, c, &src);
+                    assert_eq!(
+                        dst,
+                        oracle_mul_add(&dst0, c, &src),
+                        "mul_add backend={} len={len} c={c}",
+                        backend.name()
+                    );
+
+                    let mut d2 = dst0.clone();
+                    mul_assign_with(backend, &mut d2, c);
+                    let want: Vec<u8> = dst0.iter().map(|&x| textbook::mul(c, x)).collect();
+                    assert_eq!(d2, want, "mul backend={} len={len} c={c}", backend.name());
+
+                    let mut out = vec![0xA5u8; len];
+                    delta_into_with(backend, &mut out, c, &dst0, &src);
+                    let want: Vec<u8> = dst0
+                        .iter()
+                        .zip(&src)
+                        .map(|(&x, &y)| textbook::mul(c, x ^ y))
+                        .collect();
+                    assert_eq!(out, want, "delta backend={} len={len} c={c}", backend.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_multi_matches_row_by_row() {
+        let len = 10_000; // several tiles plus a ragged tail
+        let src: Vec<u8> = (0..len).map(|i| (i * 13 + 7) as u8).collect();
+        let cs = [0u8, 1, 0x53, 0xCA];
+        for backend in available_backends() {
+            let mut rows: Vec<Vec<u8>> = (0..cs.len())
+                .map(|j| (0..len).map(|i| (i * 3 + j) as u8).collect())
+                .collect();
+            let want: Vec<Vec<u8>> = rows
+                .iter()
+                .zip(&cs)
+                .map(|(row, &c)| oracle_mul_add(row, c, &src))
+                .collect();
+            let mut views: Vec<&mut [u8]> = rows.iter_mut().map(|r| r.as_mut_slice()).collect();
+            mul_add_multi_with(backend, &mut views, &cs, &src);
+            assert_eq!(rows, want, "backend={}", backend.name());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_all_backends_agree_with_textbook(
+            c in any::<u8>(),
+            data in proptest::collection::vec(any::<u8>(), 0..300),
+            seed in any::<u8>(),
+        ) {
+            let src: Vec<u8> = data.iter().map(|&x| x.wrapping_add(seed)).collect();
+            let want = oracle_mul_add(&data, c, &src);
+            for backend in available_backends() {
+                let mut dst = data.clone();
+                mul_add_assign_with(backend, &mut dst, c, &src);
+                prop_assert_eq!(&dst, &want, "backend={}", backend.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Scalar tier: one table-indexed load per byte.
+//!
+//! This is the seed implementation's technique — the paper's §5.1 "hand
+//! optimized code for field arithmetic" — except the 256-entry product table
+//! now comes from the compile-time [`MUL_TABLES`] array instead of being
+//! rebuilt on every call, which removes ~256 multiplies of setup per kernel
+//! invocation.
+
+use super::MUL_TABLES;
+
+pub(crate) fn mul_add_assign(dst: &mut [u8], c: u8, src: &[u8]) {
+    let table = &MUL_TABLES[c as usize];
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d ^= table[s as usize];
+    }
+}
+
+pub(crate) fn mul_assign(dst: &mut [u8], c: u8) {
+    let table = &MUL_TABLES[c as usize];
+    for d in dst.iter_mut() {
+        *d = table[*d as usize];
+    }
+}
+
+pub(crate) fn delta_into(out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
+    let table = &MUL_TABLES[c as usize];
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = table[(x ^ y) as usize];
+    }
+}

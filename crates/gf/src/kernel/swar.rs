@@ -1,0 +1,136 @@
+//! SWAR tier: branch-free GF(2⁸) shift-and-add over wide groups of byte
+//! lanes, portable safe Rust with no lookups and no `unsafe`.
+//!
+//! The product `c·x` is computed by classic shift-and-add over the bits of
+//! `c`, applied to 32 byte lanes at a time. Lanewise doubling is expressed
+//! per byte as `(x << 1) ^ (((x as i8) >> 7) as u8 & 0x1D)` — the arithmetic
+//! shift broadcasts the carry bit into a 0x00/0xFF mask, which LLVM lowers
+//! to a compare + add + and + xor on whatever vector unit the target has
+//! (SSE2 `pcmpgtb`/`paddb`, NEON `cmlt`/`shl`), and to plain scalar code on
+//! targets with none. The bit loop over `c` is resolved once per call
+//! (coefficients are loop-invariant across a block), so its branches are
+//! perfectly predicted.
+//!
+//! This tier needs no CPU feature detection and serves as the fast portable
+//! floor on non-x86 targets; on x86 the explicit nibble-shuffle tiers in
+//! [`x86`](super::x86) are several times faster still.
+
+/// Byte lanes processed per step: two SSE2 vectors' worth, enough for the
+/// autovectorizer to keep multiple independent chains in flight.
+const LANES: usize = 32;
+
+/// Lanewise `x ← 2·x` in GF(2⁸).
+#[inline(always)]
+fn double_bytes(x: &mut [u8; LANES]) {
+    for b in x.iter_mut() {
+        // ((b as i8) >> 7) is 0x00 or 0xFF per lane; reduce overflowing
+        // lanes by the primitive polynomial's low byte 0x1D.
+        let carry = (((*b as i8) >> 7) as u8) & 0x1D;
+        *b = (*b << 1) ^ carry;
+    }
+}
+
+/// Lanewise `acc ^= c·x`, destroying `x`.
+#[inline(always)]
+fn mul_acc_bytes(acc: &mut [u8; LANES], mut x: [u8; LANES], c: u8) {
+    let mut cc = c;
+    while cc != 0 {
+        if cc & 1 == 1 {
+            for i in 0..LANES {
+                acc[i] ^= x[i];
+            }
+        }
+        cc >>= 1;
+        if cc != 0 {
+            double_bytes(&mut x);
+        }
+    }
+}
+
+#[inline(always)]
+fn load(bytes: &[u8]) -> [u8; LANES] {
+    bytes.try_into().expect("LANES-byte chunk")
+}
+
+pub(crate) fn mul_add_assign(dst: &mut [u8], c: u8, src: &[u8]) {
+    let mid = dst.len() - dst.len() % LANES;
+    let (dh, dt) = dst.split_at_mut(mid);
+    let (sh, st) = src.split_at(mid);
+    for (d, s) in dh.chunks_exact_mut(LANES).zip(sh.chunks_exact(LANES)) {
+        let mut acc = load(d);
+        mul_acc_bytes(&mut acc, load(s), c);
+        d.copy_from_slice(&acc);
+    }
+    super::scalar::mul_add_assign(dt, c, st);
+}
+
+pub(crate) fn mul_assign(dst: &mut [u8], c: u8) {
+    let mid = dst.len() - dst.len() % LANES;
+    let (dh, dt) = dst.split_at_mut(mid);
+    for d in dh.chunks_exact_mut(LANES) {
+        let mut acc = [0u8; LANES];
+        mul_acc_bytes(&mut acc, load(d), c);
+        d.copy_from_slice(&acc);
+    }
+    super::scalar::mul_assign(dt, c);
+}
+
+pub(crate) fn delta_into(out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
+    let mid = out.len() - out.len() % LANES;
+    let (oh, ot) = out.split_at_mut(mid);
+    let (ah, at) = a.split_at(mid);
+    let (bh, bt) = b.split_at(mid);
+    for ((o, x), y) in oh
+        .chunks_exact_mut(LANES)
+        .zip(ah.chunks_exact(LANES))
+        .zip(bh.chunks_exact(LANES))
+    {
+        let mut s = load(x);
+        let yl = load(y);
+        for i in 0..LANES {
+            s[i] ^= yl[i];
+        }
+        let mut acc = [0u8; LANES];
+        mul_acc_bytes(&mut acc, s, c);
+        o.copy_from_slice(&acc);
+    }
+    super::scalar::delta_into(ot, c, at, bt);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::textbook;
+
+    #[test]
+    fn lanewise_double_matches_scalar_double() {
+        for x in 0..=255u8 {
+            let mut lanes = [0u8; LANES];
+            for (i, l) in lanes.iter_mut().enumerate() {
+                *l = x.wrapping_add((i as u8).wrapping_mul(37));
+            }
+            let orig = lanes;
+            double_bytes(&mut lanes);
+            for i in 0..LANES {
+                assert_eq!(lanes[i], textbook::mul(2, orig[i]), "lane {i} of {x:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn lanewise_mul_matches_scalar_mul() {
+        for c in [0u8, 1, 2, 3, 0x1d, 0x80, 0xff] {
+            for x in 0..=255u8 {
+                let mut lanes = [0u8; LANES];
+                for (i, l) in lanes.iter_mut().enumerate() {
+                    *l = x.wrapping_add((i as u8).wrapping_mul(37));
+                }
+                let mut acc = [0u8; LANES];
+                mul_acc_bytes(&mut acc, lanes, c);
+                for i in 0..LANES {
+                    assert_eq!(acc[i], textbook::mul(c, lanes[i]), "c={c:#x} lane {i}");
+                }
+            }
+        }
+    }
+}

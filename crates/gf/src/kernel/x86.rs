@@ -1,0 +1,217 @@
+//! x86-64 SIMD tier: split-nibble product tables applied with byte shuffles.
+//!
+//! A GF(2⁸) multiply by a fixed `c` is linear over XOR, so
+//! `c·x = c·(x & 0x0F) ⊕ c·(x & 0xF0)`: two 16-entry lookups. PSHUFB
+//! (`_mm_shuffle_epi8`) performs sixteen such lookups at once — the standard
+//! technique from Plank et al., "Screaming Fast Galois Field Arithmetic
+//! Using Intel SIMD Instructions" (FAST'13) and ISA-L. The AVX2 variant
+//! doubles the width by broadcasting each 16-entry table into both 128-bit
+//! lanes (PSHUFB never crosses lanes, so the lane copies behave like two
+//! independent SSSE3 units).
+//!
+//! This is the **only** module in the crate allowed to use `unsafe`: raw
+//! loads/stores and `#[target_feature]` calls. Safety rests on two
+//! invariants, both enforced by the safe wrappers below:
+//!
+//! 1. every pointer dereference stays inside the bounds of the argument
+//!    slices (the loops advance in exact step-width multiples and delegate
+//!    ragged tails to safe scalar code);
+//! 2. a `#[target_feature]` kernel is only reached through the dispatcher
+//!    after `is_x86_feature_detected!` confirmed the feature (debug-asserted
+//!    again here).
+#![allow(unsafe_code)]
+
+use super::NIB_TABLES;
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+// ---- SSSE3: 16 bytes per step ----
+
+pub(crate) fn mul_add_assign_ssse3(dst: &mut [u8], c: u8, src: &[u8]) {
+    debug_assert!(std::arch::is_x86_feature_detected!("ssse3"));
+    // SAFETY: dispatcher (or the debug_assert above) has verified SSSE3.
+    unsafe { mul_add_ssse3_impl(dst, c, src) }
+}
+
+pub(crate) fn mul_assign_ssse3(dst: &mut [u8], c: u8) {
+    debug_assert!(std::arch::is_x86_feature_detected!("ssse3"));
+    // SAFETY: as above.
+    unsafe { mul_ssse3_impl(dst, c) }
+}
+
+pub(crate) fn delta_into_ssse3(out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
+    debug_assert!(std::arch::is_x86_feature_detected!("ssse3"));
+    // SAFETY: as above.
+    unsafe { delta_ssse3_impl(out, c, a, b) }
+}
+
+#[target_feature(enable = "ssse3")]
+unsafe fn mul_add_ssse3_impl(dst: &mut [u8], c: u8, src: &[u8]) {
+    let nib = &NIB_TABLES[c as usize];
+    // SAFETY: NIB_TABLES rows are 32 bytes: lo table at +0, hi at +16.
+    let tlo = unsafe { _mm_loadu_si128(nib.as_ptr().cast()) };
+    let thi = unsafe { _mm_loadu_si128(nib.as_ptr().add(16).cast()) };
+    let mask = _mm_set1_epi8(0x0f);
+    let n = dst.len() / 16 * 16;
+    let mut i = 0;
+    while i < n {
+        // SAFETY: i + 16 <= n <= len for both slices (equal lengths checked
+        // by the public entry point); unaligned load/store intrinsics.
+        unsafe {
+            let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+            let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+            let lo = _mm_shuffle_epi8(tlo, _mm_and_si128(s, mask));
+            let hi = _mm_shuffle_epi8(thi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+            let prod = _mm_xor_si128(lo, hi);
+            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), _mm_xor_si128(d, prod));
+        }
+        i += 16;
+    }
+    super::small_mul_add(&mut dst[n..], c, &src[n..]);
+}
+
+#[target_feature(enable = "ssse3")]
+unsafe fn mul_ssse3_impl(dst: &mut [u8], c: u8) {
+    let nib = &NIB_TABLES[c as usize];
+    // SAFETY: see mul_add_ssse3_impl.
+    let tlo = unsafe { _mm_loadu_si128(nib.as_ptr().cast()) };
+    let thi = unsafe { _mm_loadu_si128(nib.as_ptr().add(16).cast()) };
+    let mask = _mm_set1_epi8(0x0f);
+    let n = dst.len() / 16 * 16;
+    let mut i = 0;
+    while i < n {
+        // SAFETY: i + 16 <= n <= dst.len().
+        unsafe {
+            let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+            let lo = _mm_shuffle_epi8(tlo, _mm_and_si128(d, mask));
+            let hi = _mm_shuffle_epi8(thi, _mm_and_si128(_mm_srli_epi64(d, 4), mask));
+            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), _mm_xor_si128(lo, hi));
+        }
+        i += 16;
+    }
+    super::small_mul(&mut dst[n..], c);
+}
+
+#[target_feature(enable = "ssse3")]
+unsafe fn delta_ssse3_impl(out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
+    let nib = &NIB_TABLES[c as usize];
+    // SAFETY: see mul_add_ssse3_impl.
+    let tlo = unsafe { _mm_loadu_si128(nib.as_ptr().cast()) };
+    let thi = unsafe { _mm_loadu_si128(nib.as_ptr().add(16).cast()) };
+    let mask = _mm_set1_epi8(0x0f);
+    let n = out.len() / 16 * 16;
+    let mut i = 0;
+    while i < n {
+        // SAFETY: i + 16 <= n <= len of all three equal-length slices.
+        unsafe {
+            let x = _mm_loadu_si128(a.as_ptr().add(i).cast());
+            let y = _mm_loadu_si128(b.as_ptr().add(i).cast());
+            let s = _mm_xor_si128(x, y);
+            let lo = _mm_shuffle_epi8(tlo, _mm_and_si128(s, mask));
+            let hi = _mm_shuffle_epi8(thi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+            _mm_storeu_si128(out.as_mut_ptr().add(i).cast(), _mm_xor_si128(lo, hi));
+        }
+        i += 16;
+    }
+    super::small_delta(&mut out[n..], c, &a[n..], &b[n..]);
+}
+
+// ---- AVX2: 32 bytes per step ----
+
+pub(crate) fn mul_add_assign_avx2(dst: &mut [u8], c: u8, src: &[u8]) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    // SAFETY: dispatcher (or the debug_assert above) has verified AVX2.
+    unsafe { mul_add_avx2_impl(dst, c, src) }
+}
+
+pub(crate) fn mul_assign_avx2(dst: &mut [u8], c: u8) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    // SAFETY: as above.
+    unsafe { mul_avx2_impl(dst, c) }
+}
+
+pub(crate) fn delta_into_avx2(out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    // SAFETY: as above.
+    unsafe { delta_avx2_impl(out, c, a, b) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn load_nib_tables_avx2(c: u8) -> (__m256i, __m256i) {
+    let nib = &NIB_TABLES[c as usize];
+    // SAFETY: rows are 32 bytes; broadcast copies the 16-entry table into
+    // both 128-bit lanes because VPSHUFB indexes within its own lane only.
+    unsafe {
+        let tlo = _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr().cast()));
+        let thi = _mm256_broadcastsi128_si256(_mm_loadu_si128(nib.as_ptr().add(16).cast()));
+        (tlo, thi)
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn mul_add_avx2_impl(dst: &mut [u8], c: u8, src: &[u8]) {
+    let (tlo, thi) = unsafe { load_nib_tables_avx2(c) };
+    let mask = _mm256_set1_epi8(0x0f);
+    let n = dst.len() / 32 * 32;
+    let mut i = 0;
+    while i < n {
+        // SAFETY: i + 32 <= n <= len for both equal-length slices.
+        unsafe {
+            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            let lo = _mm256_shuffle_epi8(tlo, _mm256_and_si256(s, mask));
+            let hi = _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+            let prod = _mm256_xor_si256(lo, hi);
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_xor_si256(d, prod));
+        }
+        i += 32;
+    }
+    if n < dst.len() {
+        mul_add_assign_ssse3(&mut dst[n..], c, &src[n..]);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn mul_avx2_impl(dst: &mut [u8], c: u8) {
+    let (tlo, thi) = unsafe { load_nib_tables_avx2(c) };
+    let mask = _mm256_set1_epi8(0x0f);
+    let n = dst.len() / 32 * 32;
+    let mut i = 0;
+    while i < n {
+        // SAFETY: i + 32 <= n <= dst.len().
+        unsafe {
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            let lo = _mm256_shuffle_epi8(tlo, _mm256_and_si256(d, mask));
+            let hi = _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(d, 4), mask));
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_xor_si256(lo, hi));
+        }
+        i += 32;
+    }
+    if n < dst.len() {
+        mul_assign_ssse3(&mut dst[n..], c);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn delta_avx2_impl(out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
+    let (tlo, thi) = unsafe { load_nib_tables_avx2(c) };
+    let mask = _mm256_set1_epi8(0x0f);
+    let n = out.len() / 32 * 32;
+    let mut i = 0;
+    while i < n {
+        // SAFETY: i + 32 <= n <= len of all three equal-length slices.
+        unsafe {
+            let x = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+            let y = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+            let s = _mm256_xor_si256(x, y);
+            let lo = _mm256_shuffle_epi8(tlo, _mm256_and_si256(s, mask));
+            let hi = _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+            _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), _mm256_xor_si256(lo, hi));
+        }
+        i += 32;
+    }
+    if n < out.len() {
+        delta_into_ssse3(&mut out[n..], c, &a[n..], &b[n..]);
+    }
+}

@@ -1,21 +1,26 @@
 //! Bulk GF(2⁸) kernels over byte slices.
 //!
-//! Every block operation in the protocol reduces to one of three kernels:
+//! Every block operation in the protocol reduces to one of these kernels:
 //!
 //! * [`add_assign`] — `dst ^= src`, the storage node's *Add* (Fig. 5 line 40);
 //! * [`mul_assign`] — `dst = c·dst`, used during decode back-substitution;
 //! * [`mul_add_assign`] — `dst ^= c·src`, the client's *Delta* step
-//!   (α_ji·(v−w) in Fig. 5 line 10) and the inner loop of full encode/decode.
+//!   (α_ji·(v−w) in Fig. 5 line 10) and the inner loop of full encode/decode;
+//! * [`mul_add_multi`] — the fused multi-row form of `mul_add_assign` that
+//!   streams one source block through several destination rows per pass.
 //!
-//! The multiply kernels build a 256-entry product table per coefficient and
-//! then stream the slice through it; this is the "hand optimized code for
-//! field arithmetic" of §5.1 and the source of the 10-20× speedup over
-//! textbook shift-and-add reported in §6.1 (see `benches/ec_kernels.rs`).
+//! These are thin façades over the tiered [`kernel`](crate::kernel) engine:
+//! coefficient tables are precomputed at compile time (no per-call table
+//! builds — the "hand optimized code for field arithmetic" of §5.1 taken one
+//! step further), and the byte loop runs on the widest backend the CPU
+//! supports (AVX2 / SSSE3 / SWAR / scalar), selected once at startup and
+//! overridable with `GF_BACKEND`. See [`kernel`](crate::kernel) for the tier
+//! table and the Fig. 8(a) speedup measurements in `benches/ec_kernels.rs`.
 //!
 //! All kernels operate on plain `&[u8]`/`&mut [u8]` so callers never pay for
 //! a `Gf256` wrapper per byte.
 
-use crate::gf256::Gf256;
+use crate::kernel;
 
 /// `dst[i] ^= src[i]` for all `i` — field addition of two blocks.
 ///
@@ -27,21 +32,7 @@ use crate::gf256::Gf256;
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn add_assign(dst: &mut [u8], src: &[u8]) {
-    assert_eq!(
-        dst.len(),
-        src.len(),
-        "add_assign requires equal-length blocks"
-    );
-    // Process in word-sized chunks for throughput; the tail is handled
-    // byte-wise. chunks_exact lets the compiler autovectorize.
-    let (dst_chunks, dst_tail) = split_words_mut(dst);
-    let (src_chunks, src_tail) = split_words(src);
-    for (d, s) in dst_chunks.iter_mut().zip(src_chunks) {
-        *d ^= *s;
-    }
-    for (d, s) in dst_tail.iter_mut().zip(src_tail) {
-        *d ^= *s;
-    }
+    kernel::add_assign(dst, src);
 }
 
 /// `dst[i] = xor of all srcs[j][i]` — sums any number of blocks into `dst`.
@@ -52,7 +43,7 @@ pub fn add_assign(dst: &mut [u8], src: &[u8]) {
 pub fn sum_into(dst: &mut [u8], srcs: &[&[u8]]) {
     dst.fill(0);
     for src in srcs {
-        add_assign(dst, src);
+        kernel::add_assign(dst, src);
     }
 }
 
@@ -63,17 +54,7 @@ pub fn sum_into(dst: &mut [u8], srcs: &[&[u8]]) {
 /// Never panics; `c = 0` zeroes the block, `c = 1` is a no-op.
 #[inline]
 pub fn mul_assign(dst: &mut [u8], c: u8) {
-    match c {
-        0 => dst.fill(0),
-        1 => {}
-        _ => {
-            let mut table = [0u8; 256];
-            Gf256::build_mul_table(c, &mut table);
-            for b in dst.iter_mut() {
-                *b = table[*b as usize];
-            }
-        }
-    }
+    kernel::mul_assign(dst, c);
 }
 
 /// `dst[i] ^= c · src[i]` — the multiply-accumulate at the heart of encode,
@@ -84,22 +65,20 @@ pub fn mul_assign(dst: &mut [u8], c: u8) {
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn mul_add_assign(dst: &mut [u8], c: u8, src: &[u8]) {
-    assert_eq!(
-        dst.len(),
-        src.len(),
-        "mul_add_assign requires equal-length blocks"
-    );
-    match c {
-        0 => {}
-        1 => add_assign(dst, src),
-        _ => {
-            let mut table = [0u8; 256];
-            Gf256::build_mul_table(c, &mut table);
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d ^= table[*s as usize];
-            }
-        }
-    }
+    kernel::mul_add_assign(dst, c, src);
+}
+
+/// `dsts[j][i] ^= cs[j] · src[i]` for every destination row `j` — full
+/// encode's inner step fused across all `p` redundant rows, so each source
+/// tile is read once while hot instead of once per row.
+///
+/// # Panics
+///
+/// Panics if `dsts` and `cs` lengths differ or any row length differs from
+/// `src`.
+#[inline]
+pub fn mul_add_multi(dsts: &mut [&mut [u8]], cs: &[u8], src: &[u8]) {
+    kernel::mul_add_multi(dsts, cs, src);
 }
 
 /// `out[i] = c · (a[i] ^ b[i])` — fused "subtract then scale", the client's
@@ -110,33 +89,7 @@ pub fn mul_add_assign(dst: &mut [u8], c: u8, src: &[u8]) {
 /// Panics if the slice lengths differ.
 #[inline]
 pub fn delta_into(out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
-    assert_eq!(a.len(), b.len(), "delta_into requires equal-length blocks");
-    assert_eq!(out.len(), a.len(), "delta_into requires equal-length blocks");
-    match c {
-        0 => out.fill(0),
-        1 => {
-            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
-                *o = x ^ y;
-            }
-        }
-        _ => {
-            let mut table = [0u8; 256];
-            Gf256::build_mul_table(c, &mut table);
-            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
-                *o = table[(x ^ y) as usize];
-            }
-        }
-    }
-}
-
-fn split_words(s: &[u8]) -> (&[u8], &[u8]) {
-    let mid = s.len() - s.len() % 8;
-    s.split_at(mid)
-}
-
-fn split_words_mut(s: &mut [u8]) -> (&mut [u8], &mut [u8]) {
-    let mid = s.len() - s.len() % 8;
-    s.split_at_mut(mid)
+    kernel::delta_into(out, c, a, b);
 }
 
 #[cfg(test)]
@@ -182,6 +135,22 @@ mod tests {
         for i in 0..3 {
             assert_eq!(out[i], a[i] ^ b[i] ^ c[i]);
         }
+    }
+
+    #[test]
+    fn mul_add_multi_equals_sequential_mul_adds() {
+        let src: Vec<u8> = (0..500).map(|i| (i * 7 + 3) as u8).collect();
+        let cs = [0x02u8, 0x53, 0x00, 0x01, 0xFF];
+        let mut fused: Vec<Vec<u8>> = (0..cs.len())
+            .map(|j| (0..500).map(|i| (i + j * 11) as u8).collect())
+            .collect();
+        let mut sequential = fused.clone();
+        for (row, &c) in sequential.iter_mut().zip(&cs) {
+            mul_add_assign(row, c, &src);
+        }
+        let mut views: Vec<&mut [u8]> = fused.iter_mut().map(|r| r.as_mut_slice()).collect();
+        mul_add_multi(&mut views, &cs, &src);
+        assert_eq!(fused, sequential);
     }
 
     proptest! {

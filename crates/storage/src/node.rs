@@ -332,21 +332,26 @@ impl StorageNode {
         let req = match req {
             Request::Add {
                 stripe,
-                delta,
+                mut delta,
                 ntid,
                 otid,
                 epoch,
                 scale: Some((j, i)),
             } => match &self.code {
                 None => return Reply::NoCode,
-                Some(code) => Request::Add {
-                    stripe,
-                    delta: code.scale_broadcast_delta(j, i, &delta),
-                    ntid,
-                    otid,
-                    epoch,
-                    scale: None,
-                },
+                Some(code) => {
+                    // The delta arrived owned; scale it where it sits
+                    // instead of copying it into a fresh block.
+                    code.scale_in_place(j, i, &mut delta);
+                    Request::Add {
+                        stripe,
+                        delta,
+                        ntid,
+                        otid,
+                        epoch,
+                        scale: None,
+                    }
+                }
             },
             other => other,
         };

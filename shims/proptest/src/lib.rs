@@ -1,0 +1,628 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Provides the API surface this workspace uses — the [`proptest!`] macro,
+//! `prop_assert*!`, [`prop_oneof!`], [`arbitrary::any`], [`strategy::Just`],
+//! [`Strategy::prop_map`](strategy::Strategy::prop_map),
+//! [`collection::vec`], [`option::of`] and
+//! [`test_runner::Config`] — as a deterministic random tester. Unlike real
+//! proptest there is **no shrinking**: a failing case panics with the case
+//! number, and the seed schedule is deterministic per test name, so failures
+//! reproduce exactly. `PROPTEST_CASES` overrides the case count;
+//! `PROPTEST_SEED` perturbs the seed schedule. See `shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic test RNG (SplitMix64).
+pub mod rng {
+    /// Per-case random generator.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the named test: seeded from an FNV-1a hash
+        /// of the test path, the case index, and `PROPTEST_SEED` (if set).
+        pub fn for_case(test_path: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let env_seed: u64 = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            let mut rng = TestRng {
+                state: h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ env_seed,
+            };
+            // Warm up so near-identical seeds decorrelate.
+            rng.next_u64();
+            rng
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, bound)` (`bound > 0`).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to execute per property.
+        pub cases: u32,
+        /// Accepted for API compatibility; this shim never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Config {
+        /// Config with an explicit case count (still capped by
+        /// `PROPTEST_CASES` if that is set lower).
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+            .capped()
+        }
+
+        fn capped(mut self) -> Self {
+            if let Some(max) = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse::<u32>().ok())
+            {
+                self.cases = self.cases.min(max.max(1));
+            }
+            self
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+            .capped()
+        }
+    }
+}
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use crate::rng::TestRng;
+
+    /// A generator of random values of type `Self::Value`.
+    ///
+    /// Object-safe core (`sample`) plus `Sized`-gated combinators, so
+    /// strategies can be boxed for heterogeneous unions ([`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Retries until `f` accepts the value (up to a bounded number of
+        /// attempts, then panics).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                f,
+                whence,
+            }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of its payload.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Result of [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({}) rejected 1000 candidates", self.whence);
+        }
+    }
+
+    /// Weighted choice between boxed alternatives ([`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<T> {
+        branches: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        /// Builds from `(weight, strategy)` pairs.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `branches` is empty or all weights are zero.
+        pub fn new_weighted(branches: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u32 = branches.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof requires positive total weight");
+            Union { branches, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total as u64) as u32;
+            for (w, s) in &self.branches {
+                if pick < *w {
+                    return s.sample(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128 - self.start as u128) as u64;
+                    self.start + (rng.below(span)) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128 - lo as u128 + 1) as u64;
+                    if span == 0 {
+                        // Full-domain u64 range.
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// `any::<T>()` — full-domain strategies for standard types.
+pub mod arbitrary {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draws a value from the type's full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Element-count bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `element`-generated values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Bit-pattern strategies.
+pub mod bits {
+    /// Masked-byte strategies.
+    pub mod u8 {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+
+        /// Strategy returned by [`masked`].
+        pub struct Masked(pub u8);
+
+        impl Strategy for Masked {
+            type Value = u8;
+            fn sample(&self, rng: &mut TestRng) -> u8 {
+                rng.next_u64() as u8 & self.0
+            }
+        }
+
+        /// A random byte restricted to the bits set in `mask`.
+        pub fn masked(mask: u8) -> Masked {
+            Masked(mask)
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+
+    /// `Some` of the inner strategy 75% of the time, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs `body` over random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::rng::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Boolean property assertion (plain `assert!` in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Assumption: in this shim a failed assumption just skips the case body by
+/// early-continuing is impossible inside an expression, so it asserts.
+/// (No call site in this workspace uses it.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies of a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_sample_in_domain() {
+        let mut rng = crate::rng::TestRng::for_case("shim::smoke", 0);
+        let s = (0u8..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(v < 20 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let mut rng = crate::rng::TestRng::for_case("shim::union", 0);
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let trues = (0..1000).filter(|_| s.sample(&mut rng)).count();
+        assert!(trues > 700, "got {trues}");
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::rng::TestRng::for_case("shim::vec", 0);
+        let s = crate::collection::vec(any::<u8>(), 3..6);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((3..6).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_runnable_tests(
+            a in any::<u8>(),
+            mut v in crate::collection::vec(0u16..100, 0..8),
+        ) {
+            v.push(a as u16);
+            prop_assert!(v.last().copied() == Some(a as u16));
+            prop_assert_eq!(v.len() <= 8, true);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(x in 0usize..5) {
+            prop_assert!(x < 5);
+        }
+    }
+}

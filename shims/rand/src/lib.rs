@@ -1,0 +1,267 @@
+//! Minimal offline stand-in for the `rand` crate (0.9 API surface used by
+//! this workspace): `Rng::{random, random_range}`, `SeedableRng::seed_from_u64`
+//! and `rngs::StdRng`. See `shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Bound;
+
+/// Core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of a standard type uniformly at random.
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range (`start..end` or `start..=end`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: UniformSample,
+        R: std::ops::RangeBounds<T>,
+    {
+        T::sample_range(self, &range)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly over their whole domain (`rng.random()`).
+pub trait StandardSample {
+    /// Draws one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types samplable uniformly from a sub-range.
+pub trait UniformSample: Copy {
+    /// Draws one value from `range`.
+    fn sample_range<R: RngCore, B: std::ops::RangeBounds<Self>>(rng: &mut R, range: &B) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range<R: RngCore, B: std::ops::RangeBounds<Self>>(
+                rng: &mut R,
+                range: &B,
+            ) -> Self {
+                let lo: u128 = match range.start_bound() {
+                    Bound::Included(&s) => s as u128,
+                    Bound::Excluded(&s) => s as u128 + 1,
+                    Bound::Unbounded => <$t>::MIN as u128,
+                };
+                let hi: u128 = match range.end_bound() {
+                    Bound::Included(&e) => e as u128,
+                    Bound::Excluded(&e) => {
+                        assert!(e as u128 > lo, "empty range");
+                        e as u128 - 1
+                    }
+                    Bound::Unbounded => <$t>::MAX as u128,
+                };
+                assert!(hi >= lo, "empty range");
+                let span = hi - lo + 1;
+                // Modulo sampling: the bias is < 2^-64 per draw, irrelevant
+                // for the test/simulation workloads this shim serves.
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo + draw) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty : $u:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range<R: RngCore, B: std::ops::RangeBounds<Self>>(
+                rng: &mut R,
+                range: &B,
+            ) -> Self {
+                let lo: i128 = match range.start_bound() {
+                    Bound::Included(&s) => s as i128,
+                    Bound::Excluded(&s) => s as i128 + 1,
+                    Bound::Unbounded => <$t>::MIN as i128,
+                };
+                let hi: i128 = match range.end_bound() {
+                    Bound::Included(&e) => e as i128,
+                    Bound::Excluded(&e) => e as i128 - 1,
+                    Bound::Unbounded => <$t>::MAX as i128,
+                };
+                assert!(hi >= lo, "empty range");
+                let span = (hi - lo + 1) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo + draw as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_signed!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+impl UniformSample for f64 {
+    fn sample_range<R: RngCore, B: std::ops::RangeBounds<Self>>(rng: &mut R, range: &B) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&s) | Bound::Excluded(&s) => s,
+            Bound::Unbounded => 0.0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&e) | Bound::Excluded(&e) => e,
+            Bound::Unbounded => 1.0,
+        };
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator: xoshiro256** seeded via SplitMix64 —
+    /// fast, high-quality, and deterministic per seed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let s2 = s2 ^ s0;
+            let s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            let s2 = s2 ^ t;
+            let s3 = s3.rotate_left(45);
+            self.s = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u8 = rng.random_range(1..=255u8);
+            assert!(x >= 1);
+            let y: u64 = rng.random_range(10..20u64);
+            assert!((10..20).contains(&y));
+            let z: usize = rng.random_range(0..1);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn bool_and_float_sampling() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut trues = 0;
+        for _ in 0..1000 {
+            if rng.random::<bool>() {
+                trues += 1;
+            }
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert!((300..700).contains(&trues), "bool sampling is balanced");
+    }
+}

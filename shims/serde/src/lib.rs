@@ -1,0 +1,21 @@
+//! Minimal offline stand-in for `serde`: marker traits plus no-op derive
+//! macros (feature `derive`). The in-process transport never serializes, so
+//! no data model or serializer is provided. See `shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+// Every type trivially "implements" the markers so that generic bounds (if
+// any appear later) remain satisfiable without per-type derives doing work.
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// No-op derive macros; importing `serde::{Serialize, Deserialize}` brings
+/// in both the traits above and these macros, exactly like real serde.
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,152 @@
+//! Differential tests of the tiered GF(2⁸) kernel engine.
+//!
+//! Every backend the running CPU supports must compute exactly what the
+//! textbook shift-and-add field does, on random inputs including unaligned
+//! lengths, and the erasure code built on top must round-trip under
+//! whichever backend is active. `tools/kernel_matrix.sh` re-runs this file
+//! once per backend with the `GF_BACKEND` override set, so the dispatched
+//! paths here are exercised on every tier, not just the widest one.
+
+use ajx_erasure::ReedSolomon;
+use ajx_gf::{kernel, slice, textbook};
+use proptest::prelude::*;
+
+/// When `GF_BACKEND` is set (as the kernel-matrix script does), dispatch
+/// must resolve to exactly that backend; otherwise to some supported one.
+#[test]
+fn active_backend_honors_env_override() {
+    let active = kernel::active_backend();
+    assert!(active.is_supported(), "active backend must be supported");
+    if let Ok(name) = std::env::var("GF_BACKEND") {
+        let requested = kernel::Backend::from_name(&name)
+            .unwrap_or_else(|| panic!("GF_BACKEND={name} is not a known backend"));
+        assert_eq!(active, requested, "GF_BACKEND={name} override not honored");
+    }
+}
+
+#[test]
+fn every_supported_backend_is_listed() {
+    let avail = kernel::available_backends();
+    assert!(avail.contains(&kernel::Backend::Scalar));
+    assert!(avail.contains(&kernel::Backend::Swar));
+    assert!(avail.contains(&kernel::active_backend()));
+    for backend in avail {
+        assert!(backend.is_supported());
+        assert_eq!(kernel::Backend::from_name(backend.name()), Some(backend));
+    }
+}
+
+/// The dispatching entry points must agree with the explicit `_with` form
+/// for the active backend — i.e. dispatch adds selection, not semantics.
+#[test]
+fn dispatch_equals_explicit_active_backend() {
+    let active = kernel::active_backend();
+    let src: Vec<u8> = (0..777u32).map(|i| (i * 31 + 7) as u8).collect();
+    let mut via_dispatch: Vec<u8> = (0..777u32).map(|i| (i * 13) as u8).collect();
+    let mut via_explicit = via_dispatch.clone();
+    slice::mul_add_assign(&mut via_dispatch, 0xA7, &src);
+    kernel::mul_add_assign_with(active, &mut via_explicit, 0xA7, &src);
+    assert_eq!(via_dispatch, via_explicit);
+}
+
+fn oracle_mul_add(dst: &mut [u8], c: u8, src: &[u8]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d ^= textbook::mul(c, s);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All backends equal the textbook oracle on random (length, c, data),
+    /// with lengths chosen to straddle the small-slice threshold, SIMD
+    /// widths, and unaligned tails.
+    #[test]
+    fn backends_match_textbook_oracle(
+        len in 0usize..300,
+        c in proptest::arbitrary::any::<u8>(),
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let src: Vec<u8> = (0..len).map(|i| (seed >> (i % 57)) as u8 ^ (i as u8)).collect();
+        let dst0: Vec<u8> = (0..len).map(|i| (seed >> (i % 31)) as u8).collect();
+
+        let mut expect = dst0.clone();
+        oracle_mul_add(&mut expect, c, &src);
+
+        for backend in kernel::available_backends() {
+            let mut dst = dst0.clone();
+            kernel::mul_add_assign_with(backend, &mut dst, c, &src);
+            prop_assert_eq!(&dst, &expect, "mul_add mismatch on {}", backend.name());
+
+            let mut scaled = src.clone();
+            kernel::mul_assign_with(backend, &mut scaled, c);
+            let expect_scaled: Vec<u8> =
+                src.iter().map(|&s| textbook::mul(c, s)).collect();
+            prop_assert_eq!(&scaled, &expect_scaled, "mul mismatch on {}", backend.name());
+
+            let mut delta = vec![0u8; len];
+            kernel::delta_into_with(backend, &mut delta, c, &src, &dst0);
+            let expect_delta: Vec<u8> = src
+                .iter()
+                .zip(&dst0)
+                .map(|(&a, &b)| textbook::mul(c, a ^ b))
+                .collect();
+            prop_assert_eq!(&delta, &expect_delta, "delta mismatch on {}", backend.name());
+        }
+    }
+
+    /// The fused multi-destination kernel equals p independent row updates
+    /// on every backend.
+    #[test]
+    fn fused_multi_matches_row_by_row(
+        len in 1usize..2000,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let src: Vec<u8> = (0..len).map(|i| (seed >> (i % 43)) as u8 ^ (i as u8)).collect();
+        let cs = [0x01u8, 0x53, 0x00, 0xFF];
+        let rows0: Vec<Vec<u8>> = (0..cs.len())
+            .map(|j| (0..len).map(|i| (seed >> ((i + j) % 29)) as u8).collect())
+            .collect();
+
+        let mut expect = rows0.clone();
+        for (row, &c) in expect.iter_mut().zip(&cs) {
+            oracle_mul_add(row, c, &src);
+        }
+
+        for backend in kernel::available_backends() {
+            let mut rows = rows0.clone();
+            let mut dsts: Vec<&mut [u8]> =
+                rows.iter_mut().map(|r| r.as_mut_slice()).collect();
+            kernel::mul_add_multi_with(backend, &mut dsts, &cs, &src);
+            prop_assert_eq!(&rows, &expect, "multi mismatch on {}", backend.name());
+        }
+    }
+
+    /// Full erasure-code round trip under the *active* backend (whatever
+    /// GF_BACKEND selected): encode_into, then decode_into from a random
+    /// k-subset of shares, must reproduce the data bit-for-bit.
+    #[test]
+    fn erasure_roundtrip_under_active_backend(
+        len in 1usize..600,
+        drop in 0usize..6,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let (k, n) = (4usize, 6usize);
+        let rs = ReedSolomon::new(k, n).unwrap();
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..len).map(|b| (seed >> ((b + i) % 51)) as u8).collect())
+            .collect();
+        let stripe = rs.encode_stripe(&data).unwrap();
+
+        let kept: Vec<usize> = (0..n).filter(|&i| i != drop % n && i != (drop + 2) % n).collect();
+        let indices: Vec<usize> = kept.iter().copied().take(k).collect();
+        let plan = rs.plan_decode(&indices).unwrap();
+        let shares: Vec<&[u8]> = indices.iter().map(|&i| &stripe[i][..]).collect();
+        let mut out: Vec<Vec<u8>> = vec![vec![0u8; len]; k];
+        {
+            let mut outs: Vec<&mut [u8]> = out.iter_mut().map(|o| o.as_mut_slice()).collect();
+            plan.decode_into(&shares, &mut outs).unwrap();
+        }
+        prop_assert_eq!(&out, &data);
+    }
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Repo check entry point: release build, full workspace test suite, then the
+# GF(2^8) kernel backend matrix (per-backend test runs + BENCH_kernels.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --workspace --release =="
+cargo build --workspace --release
+
+echo "== cargo test --workspace =="
+cargo test --workspace -q
+
+tools/kernel_matrix.sh --quick
