@@ -1,0 +1,467 @@
+//! Seeded chaos harness: a nemesis schedule (crashes, remaps, partitions,
+//! drops, slowdowns) driven against live protocol traffic, with every
+//! completed operation recorded for an `ajx-consistency` regularity check.
+//!
+//! The driver is **single-threaded round-robin** on purpose: with one
+//! driving thread and `server_threads: 1` per node, every RPC — including
+//! the ones issued internally by recovery, monitoring, and GC — happens in
+//! a deterministic order, so the per-link fault decisions (pure functions
+//! of the seed and per-link sequence numbers) and therefore the entire
+//! fault-event trace are **byte-identical across runs with the same
+//! options**. Concurrent stress belongs in the multi-threaded soak tests,
+//! which assert only the consistency properties, not the trace.
+//!
+//! The run ends with a repair epilogue — heal all faults, remap any node
+//! still down, recover every touched stripe — followed by three checks:
+//!
+//! 1. every touched stripe satisfies the erasure equation (ground truth,
+//!    [`Cluster::stripe_is_consistent`]);
+//! 2. a read-back of every touched block succeeds;
+//! 3. the full operation history is regular
+//!    ([`ajx_consistency::check_regular`]), with writes that failed
+//!    indeterminately folded in as forever-concurrent
+//!    ([`Recorder::complete_write_indeterminate`]).
+
+use crate::harness::Cluster;
+use ajx_consistency::{check_regular, Recorder};
+use ajx_core::ProtocolConfig;
+use ajx_storage::{ClientId, NodeId, StripeId};
+use ajx_transport::{LinkFaults, NetworkConfig};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Options for one [`run_chaos`] execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosOptions {
+    /// Seed for the nemesis schedule *and* the transport fault decisions.
+    pub seed: u64,
+    /// Number of protocol clients driven round-robin.
+    pub n_clients: usize,
+    /// Nemesis rounds; each round draws at most one nemesis event and then
+    /// issues `ops_per_round` operations per client.
+    pub rounds: u64,
+    /// Operations per client per round.
+    pub ops_per_round: u64,
+    /// Size of the logical block space operations target.
+    pub blocks: u64,
+    /// Percentage of operations that are reads.
+    pub read_pct: u8,
+    /// Background fault rule applied to every link while chaos runs.
+    pub link: LinkFaults,
+    /// Probability that a round opens with a nemesis event.
+    pub nemesis_p: f64,
+    /// Per-RPC deadline — required, or dropped requests would hang forever.
+    pub call_timeout: Duration,
+    /// Run one GC cycle every this many rounds (0 = never).
+    pub gc_every: u64,
+    /// Run a §3.10 monitor sweep every this many rounds (0 = never). The
+    /// sweep repairs stripes on INIT (remapped) nodes and stripes with
+    /// stale unfinished writes; a fully successful sweep resets the crash
+    /// budget.
+    pub monitor_every: u64,
+    /// Monitor age threshold (node ticks): recentlist entries older than
+    /// this mark a stripe as carrying an abandoned write and trigger
+    /// repair. Successful writes park tids in recentlists until GC moves
+    /// them, so this must comfortably exceed the GC cadence.
+    pub stale_age: u64,
+}
+
+impl Default for ChaosOptions {
+    /// A small-but-hostile default: 5% drops each way, occasional delays
+    /// and duplicates, a nemesis event every other round.
+    fn default() -> Self {
+        ChaosOptions {
+            seed: 0xC4A05,
+            n_clients: 2,
+            rounds: 20,
+            ops_per_round: 8,
+            blocks: 16,
+            read_pct: 40,
+            link: LinkFaults {
+                drop_req: 0.05,
+                drop_reply: 0.05,
+                delay_p: 0.05,
+                delay: Duration::from_micros(100),
+                dup_req: 0.05,
+            },
+            nemesis_p: 0.5,
+            call_timeout: Duration::from_millis(10),
+            gc_every: 4,
+            monitor_every: 5,
+            stale_age: 200,
+        }
+    }
+}
+
+/// The fault classes the nemesis schedule draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NemesisEvent {
+    /// Fail-stop a storage node (bounded by the `n − k` erasure budget).
+    Crash,
+    /// §3.5 directory remap of a node that is currently down.
+    Remap,
+    /// Block one client→node direction (requests silently lost).
+    PartitionReq,
+    /// Block one node→client direction (requests execute, replies lost).
+    PartitionReply,
+    /// Heal every partition.
+    HealPartitions,
+    /// Add latency to every exchange with one node.
+    Slowdown,
+}
+
+const EVENTS: [NemesisEvent; 6] = [
+    NemesisEvent::Crash,
+    NemesisEvent::Remap,
+    NemesisEvent::PartitionReq,
+    NemesisEvent::PartitionReply,
+    NemesisEvent::HealPartitions,
+    NemesisEvent::Slowdown,
+];
+
+/// Outcome of one [`run_chaos`] execution.
+#[derive(Debug, Default, Clone)]
+pub struct ChaosReport {
+    /// Operations that completed successfully during the chaos phase.
+    pub ops_ok: u64,
+    /// Reads that failed (no response recorded — a failed read returns
+    /// nothing and constrains nothing).
+    pub reads_failed: u64,
+    /// Writes that failed indeterminately and were folded into the history
+    /// as forever-concurrent.
+    pub writes_indeterminate: u64,
+    /// Nemesis events actually applied.
+    pub nemesis_events: u64,
+    /// Stripes repaired by the final recovery sweep.
+    pub recovered_stripes: usize,
+    /// Total operations in the checked history.
+    pub history_len: usize,
+    /// The deterministic fault/nemesis event stream (tracing is always on).
+    pub trace: Vec<String>,
+    /// Everything that went wrong: regularity violations, failed final
+    /// reads, broken erasure equations. Empty = the run passed.
+    pub violations: Vec<String>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *state;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn chance(state: &mut u64, p: f64) -> bool {
+    ((splitmix64(state) >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+}
+
+/// Runs a seeded chaos schedule against a fresh cluster and checks the
+/// result. See the module docs for the structure of a run; identical
+/// `(cfg, opts)` produce identical [`ChaosReport::trace`]s.
+pub fn run_chaos(cfg: ProtocolConfig, opts: &ChaosOptions) -> ChaosReport {
+    let cluster = Cluster::with_network(
+        cfg.clone(),
+        opts.n_clients,
+        NetworkConfig {
+            // Single worker per node: node-side execution order equals
+            // submission order, part of the determinism contract above.
+            server_threads: 1,
+            call_timeout: Some(opts.call_timeout),
+            ..NetworkConfig::default()
+        },
+    );
+    let net = cluster.network().clone();
+    net.faults().set_seed(opts.seed);
+    net.faults().set_tracing(true);
+    net.faults().set_default_link(opts.link);
+
+    let rec: Arc<Recorder<Vec<u8>>> = Recorder::new();
+    let mut rng = opts.seed ^ 0xA5A5_5A5A_1234_8765;
+    let mut report = ChaosReport::default();
+    let n = cfg.n();
+    let k = cfg.k();
+    // Nodes that lost data (crashed) and have not been through a verified
+    // full repair yet. A node the directory already remapped is up but
+    // holds garbage until per-stripe recovery runs, so crashing another
+    // node is only safe while this set stays within the erasure budget.
+    let mut wounded: BTreeSet<u32> = BTreeSet::new();
+    // Stripes with a write that failed indeterminately and has not been
+    // repaired since. Each stranded write is a §4 client failure: its adds
+    // may have reached only some redundant nodes, and stacking a second
+    // divergence (another strand, or wiping a data node) on the same
+    // stripe can push it past what `find_consistent` can reconcile. The
+    // nemesis therefore refuses to crash nodes while strands are open, and
+    // the driver repairs strands promptly — the paper's assumption that
+    // failures are repaired faster than they accumulate (§3.10).
+    let mut stranded: BTreeSet<u64> = BTreeSet::new();
+    let mut touched: BTreeSet<u64> = BTreeSet::new();
+
+    for round in 0..opts.rounds {
+        net.faults().note(format!("round {round}"));
+        if chance(&mut rng, opts.nemesis_p) {
+            let ev = EVENTS[(splitmix64(&mut rng) % EVENTS.len() as u64) as usize];
+            let applied =
+                apply_nemesis(&cluster, ev, &mut rng, &mut wounded, &stranded, n, k);
+            if applied {
+                report.nemesis_events += 1;
+            }
+        }
+
+        // Repair duty first: re-attempt recovery of stranded stripes,
+        // rotating the repairing client so a partition pinning one client
+        // off a node does not pin the stripe broken. (Fig. 4/5: any client
+        // that stumbles on a broken stripe recovers it.)
+        let repairer = cluster.client((round % cluster.n_clients() as u64) as usize);
+        let repaired: Vec<u64> = stranded
+            .iter()
+            .copied()
+            .filter(|&s| repairer.recover_stripe(StripeId(s)).is_ok())
+            .collect();
+        for s in repaired {
+            stranded.remove(&s);
+        }
+
+        for c in 0..cluster.n_clients() {
+            let client = cluster.client(c);
+            for _ in 0..opts.ops_per_round {
+                let lb = splitmix64(&mut rng) % opts.blocks;
+                if (splitmix64(&mut rng) % 100) < u64::from(opts.read_pct) {
+                    let p = rec.invoke();
+                    match client.read_block(lb) {
+                        Ok(v) => {
+                            net.faults().note(format!(
+                                "op c{c} read lb{lb} t{p:?} -> {}",
+                                v.first().copied().unwrap_or(0)
+                            ));
+                            rec.complete_read(lb, client.id().0, p, nonzero(v));
+                            report.ops_ok += 1;
+                        }
+                        Err(e) => {
+                            net.faults()
+                                .note(format!("op c{c} read lb{lb} t{p:?} -> err {e}"));
+                            report.reads_failed += 1;
+                        }
+                    }
+                } else {
+                    // Fills are 1..=255: the all-zeros block stays reserved
+                    // for "initial value" in the history.
+                    let fill = (splitmix64(&mut rng) % 255) as u8 + 1;
+                    let value = vec![fill; cfg.block_size];
+                    touched.insert(lb);
+                    let p = rec.invoke();
+                    match client.write_block(lb, value.clone()) {
+                        Ok(()) => {
+                            net.faults()
+                                .note(format!("op c{c} write lb{lb} t{p:?} fill {fill} -> ok"));
+                            rec.complete_write(lb, client.id().0, p, value);
+                            report.ops_ok += 1;
+                        }
+                        Err(e) => {
+                            net.faults().note(format!(
+                                "op c{c} write lb{lb} t{p:?} fill {fill} -> indet {e}"
+                            ));
+                            // The swap (or some adds) may have landed.
+                            rec.complete_write_indeterminate(lb, client.id().0, p, value);
+                            report.writes_indeterminate += 1;
+                            // The writer owes the stripe a repair; try at
+                            // once, and leave the strand open if the same
+                            // faults also defeat recovery.
+                            let stripe = lb / k as u64;
+                            if client.recover_stripe(StripeId(stripe)).is_err() {
+                                stranded.insert(stripe);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if opts.gc_every != 0 && (round + 1) % opts.gc_every == 0 {
+            // Busy/unreachable nodes are retried next cycle; an aborted
+            // cycle keeps its bookkeeping (the satellite-1 guarantee).
+            let _ = cluster.client(0).collect_garbage();
+        }
+        if opts.monitor_every != 0 && (round + 1) % opts.monitor_every == 0 {
+            let stripes: Vec<StripeId> = touched
+                .iter()
+                .map(|&lb| StripeId(lb / k as u64))
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            if cluster.client(0).monitor(&stripes, opts.stale_age).is_ok() {
+                // Every touched stripe was probed, and every INIT node and
+                // stale write among them repaired: the failure budget is
+                // whole again.
+                wounded.clear();
+                stranded.clear();
+            }
+        }
+    }
+
+    // Repair epilogue: heal the network, resurrect anything still down,
+    // recover every touched stripe, then check.
+    net.faults().clear();
+    net.faults().set_tracing(false);
+    for t in 0..n {
+        let node = NodeId(t as u32);
+        if !net.node_is_up(node) {
+            cluster.remap_storage_node(node);
+        }
+    }
+    // The chaos phase can strand recovery locks: a recovery that gave up
+    // under partition sends best-effort unlocks, and the network can eat
+    // those too. With traffic quiesced, any lock still held belongs to a
+    // recovery that went silent — exactly what the paper's fail-stop
+    // detector is for (§2, Fig. 6 line 34). Expire them so the repair
+    // sweep does not lose the race to ghosts forever.
+    for c in 0..opts.n_clients {
+        net.notify_client_failure(ClientId(c as u32));
+    }
+    let stripes: BTreeSet<u64> = touched.iter().map(|&lb| lb / k as u64).collect();
+    for &s in &stripes {
+        match cluster.client(0).recover_stripe(StripeId(s)) {
+            Ok(()) => report.recovered_stripes += 1,
+            Err(e) => report.violations.push(format!(
+                "final recovery of stripe {s} failed: {e} [{}]",
+                cluster.stripe_forensics(StripeId(s))
+            )),
+        }
+    }
+    for &lb in &touched {
+        let p = rec.invoke();
+        match cluster.client(0).read_block(lb) {
+            Ok(v) => rec.complete_read(lb, cluster.client(0).id().0, p, nonzero(v)),
+            Err(e) => report
+                .violations
+                .push(format!("final read of block {lb} failed: {e}")),
+        }
+    }
+    for &s in &stripes {
+        if !cluster.stripe_is_consistent(StripeId(s)) {
+            report
+                .violations
+                .push(format!("stripe {s} violates the erasure equation"));
+        }
+    }
+    let history = rec.take_history();
+    report.history_len = history.len();
+    if let Err(v) = check_regular(&history) {
+        report.violations.push(v.to_string());
+    }
+    report.trace = net.faults().take_trace();
+    report
+}
+
+/// `None` for the all-zeros (initial-value) block, `Some` otherwise.
+fn nonzero(v: Vec<u8>) -> Option<Vec<u8>> {
+    if v.iter().all(|&b| b == 0) {
+        None
+    } else {
+        Some(v)
+    }
+}
+
+/// Applies one nemesis event, respecting the `n − k` erasure budget for
+/// crashes. Returns whether anything actually happened.
+fn apply_nemesis(
+    cluster: &Cluster,
+    ev: NemesisEvent,
+    rng: &mut u64,
+    wounded: &mut BTreeSet<u32>,
+    stranded: &BTreeSet<u64>,
+    n: usize,
+    k: usize,
+) -> bool {
+    let net = cluster.network();
+    match ev {
+        NemesisEvent::Crash => {
+            if wounded.len() >= n - k || !stranded.is_empty() {
+                // Budget exhausted, or a stranded write's divergence is
+                // still unrepaired — wiping a node on top of either can
+                // exceed what the erasure code tolerates (§4).
+                return false;
+            }
+            let victim = (splitmix64(rng) % n as u64) as u32;
+            if wounded.contains(&victim) {
+                return false;
+            }
+            wounded.insert(victim);
+            net.faults().note(format!("nemesis crash s{victim}"));
+            cluster.crash_storage_node(NodeId(victim));
+            true
+        }
+        NemesisEvent::Remap => {
+            let Some(down) = (0..n as u32).find(|&t| !net.node_is_up(NodeId(t))) else {
+                return false;
+            };
+            net.faults().note(format!("nemesis remap s{down}"));
+            cluster.remap_storage_node(NodeId(down));
+            true
+        }
+        NemesisEvent::PartitionReq => {
+            let c = (splitmix64(rng) % cluster.n_clients() as u64) as u32;
+            let s = (splitmix64(rng) % n as u64) as u32;
+            net.faults().partition_requests(ClientId(c), NodeId(s));
+            true
+        }
+        NemesisEvent::PartitionReply => {
+            let c = (splitmix64(rng) % cluster.n_clients() as u64) as u32;
+            let s = (splitmix64(rng) % n as u64) as u32;
+            net.faults().partition_replies(ClientId(c), NodeId(s));
+            true
+        }
+        NemesisEvent::HealPartitions => {
+            net.faults().heal_partitions();
+            true
+        }
+        NemesisEvent::Slowdown => {
+            let s = (splitmix64(rng) % n as u64) as u32;
+            net.faults().set_node_slowdown(NodeId(s), Duration::from_micros(100));
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> ChaosOptions {
+        ChaosOptions {
+            rounds: 6,
+            ops_per_round: 4,
+            blocks: 8,
+            ..ChaosOptions::default()
+        }
+    }
+
+    #[test]
+    fn chaos_run_passes_and_reproduces() {
+        let cfg = ProtocolConfig::new(2, 4, 16).unwrap();
+        let opts = quick_opts();
+        let a = run_chaos(cfg.clone(), &opts);
+        assert!(a.violations.is_empty(), "violations: {:?}", a.violations);
+        assert!(a.ops_ok > 0);
+        let b = run_chaos(cfg, &opts);
+        assert_eq!(a.trace, b.trace, "same seed must replay byte-identically");
+        assert_eq!(a.ops_ok, b.ops_ok);
+        assert_eq!(a.nemesis_events, b.nemesis_events);
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let cfg = ProtocolConfig::new(2, 4, 16).unwrap();
+        let a = run_chaos(cfg.clone(), &quick_opts());
+        let b = run_chaos(
+            cfg,
+            &ChaosOptions {
+                seed: 7,
+                ..quick_opts()
+            },
+        );
+        assert!(a.violations.is_empty(), "a: {:?}", a.violations);
+        assert!(b.violations.is_empty(), "b: {:?}", b.violations);
+        assert_ne!(a.trace, b.trace, "seeds must actually steer the run");
+    }
+}

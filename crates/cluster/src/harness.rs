@@ -52,16 +52,32 @@ impl Cluster {
         node_bw: Option<u64>,
         flush_policy: ajx_storage::FlushPolicy,
     ) -> Self {
-        let net = Network::new(NetworkConfig {
-            n_nodes: cfg.n(),
-            block_size: cfg.block_size,
-            one_way_latency,
-            client_bandwidth: client_bw,
-            node_bandwidth: node_bw,
-            server_threads: 4,
-            code: Some((*cfg.code).clone()),
-            flush_policy,
-        });
+        Self::with_network(
+            cfg,
+            n_clients,
+            NetworkConfig {
+                n_nodes: 0, // overwritten below
+                block_size: 0,
+                one_way_latency,
+                client_bandwidth: client_bw,
+                node_bandwidth: node_bw,
+                server_threads: 4,
+                call_timeout: None,
+                code: None,
+                flush_policy,
+            },
+        )
+    }
+
+    /// The most general constructor: an explicit [`NetworkConfig`], with the
+    /// node count, block size, and erasure code forced to match `cfg` (the
+    /// chaos harness uses this to set `call_timeout` and then drive the
+    /// network's [`ajx_transport::FaultPlan`]).
+    pub fn with_network(cfg: ProtocolConfig, n_clients: usize, mut net_cfg: NetworkConfig) -> Self {
+        net_cfg.n_nodes = cfg.n();
+        net_cfg.block_size = cfg.block_size;
+        net_cfg.code = Some((*cfg.code).clone());
+        let net = Network::new(net_cfg);
         let clients = (0..n_clients)
             .map(|i| Arc::new(Client::new(net.client(ClientId(i as u32)), cfg.clone())))
             .collect();
@@ -153,6 +169,32 @@ impl Cluster {
             }
         }
         self.cfg.code.verify_stripe(&blocks).unwrap_or(false)
+    }
+
+    /// One line per in-stripe index describing `stripe`'s state at each
+    /// node — up/down, op mode, lock mode, epoch, list sizes — for failure
+    /// diagnostics in chaos runs and tests.
+    pub fn stripe_forensics(&self, stripe: StripeId) -> String {
+        (0..self.cfg.n())
+            .map(|t| {
+                let node = NodeId(self.cfg.layout.node_for(stripe.0, t) as u32);
+                if !self.net.node_is_up(node) {
+                    return format!("t{t}=s{}: DOWN", node.0);
+                }
+                self.net.with_node(node, |sn| match sn.block_state(stripe) {
+                    None => format!("t{t}=s{}: no block", node.0),
+                    Some(b) => format!(
+                        "t{t}=s{}: {:?}/{:?} epoch {} pending {}",
+                        node.0,
+                        b.opmode(),
+                        b.lmode(),
+                        b.epoch().0,
+                        b.pending_tids(),
+                    ),
+                })
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
     }
 
     /// The raw contents of every block of `stripe` (None = node down),

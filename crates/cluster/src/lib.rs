@@ -11,7 +11,10 @@
 //!   stripe directly from node memory, bypassing the protocol;
 //! * workload driving — [`drive`] runs closed-loop threads against clients
 //!   and reports throughput (the paper's "number of threads ... limits the
-//!   number of outstanding calls").
+//!   number of outstanding calls");
+//! * chaos schedules — [`run_chaos`] drives a seeded nemesis (crashes,
+//!   remaps, partitions, drops, slowdowns) against live traffic and checks
+//!   the recorded history for multi-writer regularity.
 //!
 //! # Example
 //!
@@ -32,8 +35,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod harness;
 mod workload;
 
+pub use chaos::{run_chaos, ChaosOptions, ChaosReport, NemesisEvent};
 pub use harness::Cluster;
 pub use workload::{drive, DriveReport, Workload};

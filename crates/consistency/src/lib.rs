@@ -270,6 +270,33 @@ impl<V> Recorder<V> {
         );
     }
 
+    /// Records a write whose outcome is *unknown* — its RPC failed
+    /// indeterminately (timeout / lost reply), so it may have taken effect
+    /// already, may take effect later, or may never take effect.
+    ///
+    /// The record gets `end = u64::MAX`, making it concurrent with every
+    /// subsequent operation: it can justify a read that returns its value,
+    /// but it can never supersede an older value. This is the sound way to
+    /// fold failed writes into a regularity check — dropping them would
+    /// flag legitimate reads of a value that *did* land as "never written".
+    pub fn complete_write_indeterminate(
+        &self,
+        loc: Location,
+        client: u32,
+        pending: Pending,
+        value: V,
+    ) {
+        self.history.lock().push(
+            loc,
+            OpRecord {
+                client,
+                start: pending.start,
+                end: u64::MAX,
+                op: OpKind::Write { value },
+            },
+        );
+    }
+
     /// Records a completed read (`None` = initial value observed).
     pub fn complete_read(&self, loc: Location, client: u32, pending: Pending, value: Option<V>) {
         let end = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
@@ -430,6 +457,23 @@ mod tests {
         assert!(check_regular(&hist).is_ok(), "write-only history is regular");
         assert!(rec.take_history().is_empty(), "take drains");
         // Timestamps are well-formed.
+    }
+
+    #[test]
+    fn indeterminate_write_is_concurrent_with_every_later_read() {
+        let rec: Arc<Recorder<u64>> = Recorder::new();
+        let p = rec.invoke();
+        rec.complete_write(0, 1, p, 10);
+        let p = rec.invoke();
+        rec.complete_write_indeterminate(0, 2, p, 20);
+        // Arbitrarily later, a read may see the old value (the lost write
+        // never landed) or the new one (it landed after all) — but the
+        // indeterminate write must never make reading 10 a violation.
+        let p = rec.invoke();
+        rec.complete_read(0, 3, p, Some(10));
+        let p = rec.invoke();
+        rec.complete_read(0, 3, p, Some(20));
+        assert!(check_regular(&rec.take_history()).is_ok());
     }
 
     #[test]

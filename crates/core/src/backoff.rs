@@ -1,0 +1,219 @@
+//! Retry pacing for busy loops and indeterminate RPCs.
+//!
+//! The paper leaves retry pacing unspecified ("p retries the add after a
+//! while", §3.9). On a fault-free network a fixed pause is fine, but under
+//! injected loss and contention a fixed pause synchronizes competing
+//! clients — they collide at the recovery locks on every round. This module
+//! provides the standard cure: capped exponential backoff with jitter
+//! (including the *decorrelated* variant), seeded so retry schedules are
+//! reproducible in chaos runs.
+
+use std::time::Duration;
+
+/// How randomness is mixed into the computed delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Jitter {
+    /// Pure capped exponential: `min(cap, base·multiplier^attempt)`.
+    None,
+    /// Uniform in `[0, min(cap, base·multiplier^attempt)]` — desynchronizes
+    /// fully but can retry very hot.
+    Full,
+    /// `min(cap, uniform(base, 3·previous))` — each delay derives from the
+    /// previous draw rather than the attempt count, spreading competing
+    /// clients while keeping a floor of `base`.
+    Decorrelated,
+}
+
+/// Backoff configuration shared by every retry loop of a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// First (and minimum) delay. `ZERO` disables sleeping entirely —
+    /// the unit-test fast path.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Growth factor for the exponential variants (ignored by
+    /// [`Jitter::Decorrelated`], which grows from the previous draw).
+    pub multiplier: u32,
+    /// Jitter strategy.
+    pub jitter: Jitter,
+    /// How many times an *idempotent* RPC that failed indeterminately
+    /// ([`ajx_transport::RpcError::is_indeterminate`]) is re-sent before
+    /// the error is surfaced to the protocol layer.
+    pub rpc_retry_budget: u32,
+}
+
+impl Default for BackoffPolicy {
+    /// 100 µs base doubling to a 10 ms cap with decorrelated jitter, and
+    /// three re-sends for indeterminate idempotent RPCs.
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(10),
+            multiplier: 2,
+            jitter: Jitter::Decorrelated,
+            rpc_retry_budget: 3,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// A policy that never sleeps and never re-sends — for unit tests that
+    /// drive failure paths deterministically.
+    pub fn none() -> Self {
+        BackoffPolicy {
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            multiplier: 1,
+            jitter: Jitter::None,
+            rpc_retry_budget: 0,
+        }
+    }
+
+    /// Starts a retry session. `seed` determines the jitter stream, so a
+    /// given `(policy, seed)` always produces the same delay sequence.
+    pub fn session(&self, seed: u64) -> BackoffSession {
+        BackoffSession {
+            policy: *self,
+            rng: seed ^ 0x5851_F42D_4C95_7F2D,
+            prev: self.base,
+            attempt: 0,
+        }
+    }
+}
+
+/// The evolving state of one retry loop (delay growth + jitter stream).
+#[derive(Debug, Clone)]
+pub struct BackoffSession {
+    policy: BackoffPolicy,
+    rng: u64,
+    prev: Duration,
+    attempt: u32,
+}
+
+impl BackoffSession {
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: cheap, seedable, good enough for jitter.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.rng;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi]` (nanosecond granularity).
+    fn uniform(&mut self, lo: Duration, hi: Duration) -> Duration {
+        let (lo, hi) = (lo.as_nanos() as u64, hi.as_nanos() as u64);
+        if hi <= lo {
+            return Duration::from_nanos(lo);
+        }
+        Duration::from_nanos(lo + self.next_u64() % (hi - lo + 1))
+    }
+
+    /// Computes the next delay and advances the session state.
+    pub fn next_delay(&mut self) -> Duration {
+        let p = self.policy;
+        if p.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = p
+            .base
+            .saturating_mul(p.multiplier.max(1).saturating_pow(self.attempt))
+            .min(p.cap)
+            .max(p.base);
+        self.attempt = self.attempt.saturating_add(1);
+        let delay = match p.jitter {
+            Jitter::None => exp,
+            Jitter::Full => self.uniform(Duration::ZERO, exp),
+            Jitter::Decorrelated => {
+                let hi = self.prev.saturating_mul(3).min(p.cap).max(p.base);
+                self.uniform(p.base, hi)
+            }
+        };
+        self.prev = delay.max(p.base);
+        delay
+    }
+
+    /// Sleeps for [`BackoffSession::next_delay`] (no-op on a zero delay).
+    pub fn pause(&mut self) {
+        let d = self.next_delay();
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(jitter: Jitter) -> BackoffPolicy {
+        BackoffPolicy {
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(5),
+            multiplier: 2,
+            jitter,
+            rpc_retry_budget: 3,
+        }
+    }
+
+    #[test]
+    fn no_jitter_doubles_up_to_the_cap() {
+        let mut s = policy(Jitter::None).session(1);
+        let delays: Vec<_> = (0..8).map(|_| s.next_delay()).collect();
+        assert_eq!(delays[0], Duration::from_micros(100));
+        assert_eq!(delays[1], Duration::from_micros(200));
+        assert_eq!(delays[2], Duration::from_micros(400));
+        assert_eq!(*delays.last().unwrap(), Duration::from_millis(5), "capped");
+        assert!(delays.windows(2).all(|w| w[0] <= w[1]), "monotone");
+    }
+
+    #[test]
+    fn full_jitter_stays_within_the_envelope() {
+        let mut s = policy(Jitter::Full).session(7);
+        for attempt in 0..20u32 {
+            let d = s.next_delay();
+            let env = Duration::from_micros(100 * 2u64.pow(attempt.min(10)))
+                .min(Duration::from_millis(5));
+            assert!(d <= env, "attempt {attempt}: {d:?} > {env:?}");
+        }
+    }
+
+    #[test]
+    fn decorrelated_jitter_respects_floor_and_cap() {
+        let mut s = policy(Jitter::Decorrelated).session(42);
+        for _ in 0..100 {
+            let d = s.next_delay();
+            assert!(d >= Duration::from_micros(100));
+            assert!(d <= Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let p = policy(Jitter::Decorrelated);
+        let a: Vec<_> = {
+            let mut s = p.session(9);
+            (0..50).map(|_| s.next_delay()).collect()
+        };
+        let b: Vec<_> = {
+            let mut s = p.session(9);
+            (0..50).map(|_| s.next_delay()).collect()
+        };
+        let c: Vec<_> = {
+            let mut s = p.session(10);
+            (0..50).map(|_| s.next_delay()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        let mut s = BackoffPolicy::none().session(3);
+        for _ in 0..10 {
+            assert_eq!(s.next_delay(), Duration::ZERO);
+        }
+        s.pause(); // must not sleep (and must not panic)
+    }
+}

@@ -112,10 +112,13 @@ impl Client {
         NodeId(self.cfg.layout.node_for(stripe.0, t) as u32)
     }
 
-    fn pause(&self) {
-        if !self.cfg.busy_retry_pause.is_zero() {
-            std::thread::sleep(self.cfg.busy_retry_pause);
-        }
+    /// Starts a backoff session for one operation's retry loop, seeded per
+    /// (client, stripe, operation) so competing clients draw different
+    /// jitter but a given run is reproducible.
+    fn backoff(&self, stripe: StripeId, salt: u64) -> crate::backoff::BackoffSession {
+        self.cfg
+            .backoff
+            .session((u64::from(self.id().0) << 40) ^ (stripe.0 << 8) ^ salt)
     }
 
     /// `READ` of a logical block (Fig. 4): one round trip to the data node
@@ -143,6 +146,7 @@ impl Client {
     ) -> Result<Vec<u8>, ProtocolError> {
         assert!(i < self.cfg.k(), "data index {i} out of range");
         let node = self.node_of(stripe, i);
+        let mut backoff = self.backoff(stripe, 1);
         for _ in 0..=self.cfg.busy_retry_limit {
             let reply = call(&self.endpoint, &self.cfg, node, Request::Read { stripe })?;
             let r = expect_reply!(reply, Reply::Read);
@@ -152,7 +156,7 @@ impl Client {
                     if r.lmode.allows_recovery_start() {
                         self.recover_stripe(stripe)?;
                     } else {
-                        self.pause(); // recovery in progress elsewhere
+                        backoff.pause(); // recovery in progress elsewhere
                     }
                 }
             }
@@ -197,6 +201,7 @@ impl Client {
         let k = self.cfg.k();
         let n = self.cfg.n();
         let full: BTreeSet<usize> = std::iter::once(i).chain(k..n).collect();
+        let mut backoff = self.backoff(stripe, 2);
 
         // Outer `repeat` (Fig. 5 lines 1 and 22): a fresh swap each attempt.
         for _ in 0..self.cfg.write_attempt_limit {
@@ -278,7 +283,7 @@ impl Client {
                             d.remove(&j);
                         }
                     }
-                    self.pause(); // "p retries the add after a while" (§3.9)
+                    backoff.pause(); // "p retries the add after a while" (§3.9)
                 }
                 t = retry;
             }
@@ -307,6 +312,7 @@ impl Client {
         ntid: Tid,
     ) -> Result<SwapReply, ProtocolError> {
         let node = self.node_of(stripe, i);
+        let mut backoff = self.backoff(stripe, 3);
         for _ in 0..=self.cfg.busy_retry_limit {
             let reply = call(
                 &self.endpoint,
@@ -325,7 +331,7 @@ impl Client {
             if r.lmode.allows_recovery_start() {
                 self.recover_stripe(stripe)?;
             } else {
-                self.pause();
+                backoff.pause();
             }
         }
         Err(ProtocolError::RetriesExhausted {
@@ -444,27 +450,15 @@ impl Client {
     /// As [`crate::recovery`] plus [`ProtocolError::RetriesExhausted`] when
     /// losing the race repeatedly without the stripe becoming readable.
     pub fn recover_stripe(&self, stripe: StripeId) -> Result<(), ProtocolError> {
+        let mut backoff = self.backoff(stripe, 4);
         for _ in 0..=self.cfg.busy_retry_limit {
             match recover(&self.endpoint, &self.cfg, self.id(), stripe)? {
                 RecoveryOutcome::Completed => return Ok(()),
                 RecoveryOutcome::LostRace => {
-                    self.pause();
+                    backoff.pause();
                     // If the other client finished, the stripe is usable
-                    // again; probe cheaply via the data node's lock mode.
-                    let reply = call(
-                        &self.endpoint,
-                        &self.cfg,
-                        self.node_of(stripe, 0),
-                        Request::Probe { stripe },
-                    )?;
-                    let (opmode, _) = match reply {
-                        Reply::Probe {
-                            opmode,
-                            oldest_pending_age,
-                        } => (opmode, oldest_pending_age),
-                        other => unreachable!("probe answered {other:?}"),
-                    };
-                    if opmode == OpMode::Norm {
+                    // again; probe cheaply via a node's lock mode.
+                    if self.probe_stripe_released(stripe)? {
                         return Ok(());
                     }
                 }
@@ -474,6 +468,34 @@ impl Client {
             what: "recovery",
             attempts: self.cfg.busy_retry_limit + 1,
         })
+    }
+
+    /// Checks whether the recovery we lost the race to has finished and
+    /// released the stripe.
+    ///
+    /// Asks the data nodes in index order and settles for the first one
+    /// that answers: the probe must not be pinned to data node 0, because
+    /// when *that* is the crashed node a transport error here used to abort
+    /// the whole recovery retry loop. An unreachable node just means "ask
+    /// the next one"; if nobody answers, the stripe is conservatively
+    /// treated as still recovering.
+    fn probe_stripe_released(&self, stripe: StripeId) -> Result<bool, ProtocolError> {
+        for t in 0..self.cfg.n() {
+            match call(
+                &self.endpoint,
+                &self.cfg,
+                self.node_of(stripe, t),
+                Request::Probe { stripe },
+            ) {
+                Ok(Reply::Probe { opmode, lmode, .. }) => {
+                    return Ok(opmode == OpMode::Norm && lmode == LMode::Unl)
+                }
+                Ok(other) => return Err(ProtocolError::unexpected("Reply::Probe", &other)),
+                Err(ProtocolError::Rpc(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(false)
     }
 
     /// One garbage-collection cycle (Fig. 7's `collect_garbage` task).
@@ -486,68 +508,83 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport failures only; a busy node is not an error.
+    /// Transport failures only; a busy node is not an error. Entries whose
+    /// RPC fails (or is still queued when one fails) stay in the client's
+    /// lists for the next cycle — an aborted cycle must never leak tids,
+    /// or the nodes' recent/old lists are never collected.
     pub fn collect_garbage(&self) -> Result<GcReport, ProtocolError> {
         let mut report = GcReport::default();
-        let (old, pending) = {
-            let mut gc = self.gc.lock();
-            (std::mem::take(&mut gc.old), std::mem::take(&mut gc.pending))
-        };
 
-        // Phase 1: discard from oldlists.
-        let mut old_retry = BTreeMap::new();
-        for ((stripe, j), tids) in old {
-            let node = self.node_of(stripe, j);
+        // Phase 1: discard from oldlists. Each entry is removed from the
+        // bookkeeping only for the duration of its own RPC and restored on
+        // any failure, so an error aborts the cycle without losing state.
+        let old_keys: Vec<(StripeId, usize)> = self.gc.lock().old.keys().copied().collect();
+        for key @ (stripe, j) in old_keys {
+            let Some(tids) = self.gc.lock().old.remove(&key) else {
+                continue; // another cycle got here first
+            };
             let reply = call(
                 &self.endpoint,
                 &self.cfg,
-                node,
+                self.node_of(stripe, j),
                 Request::GcOld {
                     stripe,
                     tids: tids.clone(),
                 },
-            )?;
-            if expect_reply!(reply, Reply::Gc) {
-                report.dropped += tids.len();
-            } else {
-                report.skipped_busy += 1;
-                old_retry.insert((stripe, j), tids);
+            );
+            match reply {
+                Ok(Reply::Gc(true)) => report.dropped += tids.len(),
+                Ok(Reply::Gc(false)) => {
+                    report.skipped_busy += 1;
+                    self.gc.lock().old.entry(key).or_default().extend(tids);
+                }
+                Ok(other) => {
+                    self.gc.lock().old.entry(key).or_default().extend(tids);
+                    return Err(ProtocolError::unexpected("Reply::Gc", &other));
+                }
+                Err(e) => {
+                    self.gc.lock().old.entry(key).or_default().extend(tids);
+                    return Err(e);
+                }
             }
         }
 
-        // Phase 2: move recent → old.
-        let mut moved = BTreeMap::new();
-        let mut pending_retry = BTreeMap::new();
-        for ((stripe, j), tids) in pending {
-            let node = self.node_of(stripe, j);
+        // Phase 2: move recent → old, with the same restore-on-failure
+        // discipline; successes graduate to the phase 1 list.
+        let pending_keys: Vec<(StripeId, usize)> =
+            self.gc.lock().pending.keys().copied().collect();
+        for key @ (stripe, j) in pending_keys {
+            let Some(tids) = self.gc.lock().pending.remove(&key) else {
+                continue;
+            };
             let reply = call(
                 &self.endpoint,
                 &self.cfg,
-                node,
+                self.node_of(stripe, j),
                 Request::GcRecent {
                     stripe,
                     tids: tids.clone(),
                 },
-            )?;
-            if expect_reply!(reply, Reply::Gc) {
-                report.moved_to_old += tids.len();
-                moved.insert((stripe, j), tids);
-            } else {
-                // The move did not happen; retry phase 2 next cycle.
-                report.skipped_busy += 1;
-                pending_retry.insert((stripe, j), tids);
+            );
+            match reply {
+                Ok(Reply::Gc(true)) => {
+                    report.moved_to_old += tids.len();
+                    self.gc.lock().old.entry(key).or_default().extend(tids);
+                }
+                Ok(Reply::Gc(false)) => {
+                    // The move did not happen; retry phase 2 next cycle.
+                    report.skipped_busy += 1;
+                    self.gc.lock().pending.entry(key).or_default().extend(tids);
+                }
+                Ok(other) => {
+                    self.gc.lock().pending.entry(key).or_default().extend(tids);
+                    return Err(ProtocolError::unexpected("Reply::Gc", &other));
+                }
+                Err(e) => {
+                    self.gc.lock().pending.entry(key).or_default().extend(tids);
+                    return Err(e);
+                }
             }
-        }
-
-        let mut gc = self.gc.lock();
-        for (key, tids) in moved {
-            gc.old.entry(key).or_default().extend(tids);
-        }
-        for (key, tids) in old_retry {
-            gc.old.entry(key).or_default().extend(tids);
-        }
-        for (key, tids) in pending_retry {
-            gc.pending.entry(key).or_default().extend(tids);
         }
         Ok(report)
     }
@@ -575,6 +612,7 @@ impl Client {
                     Reply::Probe {
                         opmode,
                         oldest_pending_age,
+                        ..
                     } => {
                         if opmode == OpMode::Init
                             || oldest_pending_age.is_some_and(|a| a >= age_threshold)
@@ -582,7 +620,7 @@ impl Client {
                             needs_recovery = true;
                         }
                     }
-                    other => unreachable!("probe answered {other:?}"),
+                    other => return Err(ProtocolError::unexpected("Reply::Probe", &other)),
                 }
             }
             if needs_recovery {
@@ -639,6 +677,62 @@ mod tests {
         assert_eq!(c.gc_backlog(), 6, "phase 2 done; tids now await phase 1");
         c.collect_garbage().unwrap();
         assert_eq!(c.gc_backlog(), 0);
+    }
+
+    fn client_on_net(
+        k: usize,
+        n: usize,
+        auto_remap: bool,
+    ) -> (std::sync::Arc<Network>, Client) {
+        let mut cfg = ProtocolConfig::new(k, n, 16).unwrap();
+        cfg.auto_remap = auto_remap;
+        let net = Network::new(NetworkConfig {
+            n_nodes: n,
+            block_size: 16,
+            ..NetworkConfig::default()
+        });
+        let c = Client::new(net.client(ClientId(1)), cfg);
+        (net, c)
+    }
+
+    #[test]
+    fn gc_cycle_aborted_by_a_crashed_node_keeps_its_bookkeeping() {
+        let (net, c) = client_on_net(2, 4, false);
+        c.write_block(0, vec![1; 16]).unwrap();
+        c.write_block(1, vec![2; 16]).unwrap();
+        assert_eq!(c.gc_backlog(), 6);
+        // Crash stripe 0's data node; with auto-remap off the GC cycle
+        // aborts on the dead node's RPC error.
+        let victim = c.node_of(StripeId(0), 0);
+        net.crash_node(victim);
+        assert!(c.collect_garbage().is_err());
+        assert_eq!(
+            c.gc_backlog(),
+            6,
+            "an aborted cycle must restore every in-flight tid"
+        );
+        // Replace the node and repair the affected stripes; the preserved
+        // backlog then drains to zero over the usual two-phase cycles.
+        net.remap_node(victim, 0xA5);
+        c.read_block(0).unwrap();
+        c.read_block(1).unwrap();
+        while c.gc_backlog() > 0 {
+            c.collect_garbage().unwrap();
+        }
+    }
+
+    #[test]
+    fn lost_race_probe_falls_past_a_crashed_data_node() {
+        let (net, c) = client_on_net(2, 4, false);
+        c.write_block(0, vec![3; 16]).unwrap();
+        let stripe = StripeId(0);
+        // Crash the first data node; the probe used to be hard-wired to it
+        // and surfaced the transport error, aborting recovery's retry loop.
+        net.crash_node(c.node_of(stripe, 0));
+        assert!(
+            c.probe_stripe_released(stripe).unwrap(),
+            "an unreachable first node means: ask the next one"
+        );
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Client-side protocol configuration.
 
+use crate::backoff::BackoffPolicy;
 use crate::resilience;
 use ajx_erasure::{CodeError, ReedSolomon, StripeLayout};
 use std::sync::Arc;
-use std::time::Duration;
 
 /// How a `WRITE` updates the redundant blocks (Fig. 1's AJX-ser / AJX-par /
 /// AJX-bcast and §4's hybrid scheme).
@@ -100,8 +100,10 @@ pub struct ProtocolConfig {
     /// `k` blocks — this is what lets the §3.10 monitoring sweep repair the
     /// stripe even after more than `t_p` client crashes.
     pub drain_patience: u32,
-    /// Pause between busy retries (zero in unit tests).
-    pub busy_retry_pause: Duration,
+    /// Pacing for busy retries and indeterminate-RPC re-sends: capped
+    /// exponential backoff with jitter. Replaces the old fixed
+    /// `busy_retry_pause`, which synchronized competing clients.
+    pub backoff: BackoffPolicy,
     /// Whole-`WRITE` attempt budget (outer `repeat` of Fig. 5).
     pub write_attempt_limit: u32,
     /// Automatically remap crashed nodes through the directory service
@@ -133,7 +135,7 @@ impl ProtocolConfig {
             order_retry_limit: 64,
             busy_retry_limit: 512,
             drain_patience: 3,
-            busy_retry_pause: Duration::from_micros(100),
+            backoff: BackoffPolicy::default(),
             write_attempt_limit: 64,
             auto_remap: true,
             remap_garbage: 0xA5,

@@ -42,6 +42,32 @@ pub enum ProtocolError {
         /// Supplied value length.
         got: usize,
     },
+    /// A storage node answered with the wrong reply variant. A malformed
+    /// reply is a node-side fault, not a client invariant — it must surface
+    /// as an error, never crash the client thread.
+    UnexpectedReply {
+        /// The reply variant the protocol step required.
+        expected: &'static str,
+        /// Compact rendering of what actually arrived.
+        got: String,
+    },
+}
+
+impl ProtocolError {
+    /// Builds an [`ProtocolError::UnexpectedReply`], truncating the reply's
+    /// debug rendering so block payloads don't explode the message.
+    pub fn unexpected(expected: &'static str, got: &impl fmt::Debug) -> Self {
+        let mut rendered = format!("{got:?}");
+        if rendered.len() > 96 {
+            let cut = (0..=96).rev().find(|&i| rendered.is_char_boundary(i)).unwrap_or(0);
+            rendered.truncate(cut);
+            rendered.push('…');
+        }
+        ProtocolError::UnexpectedReply {
+            expected,
+            got: rendered,
+        }
+    }
 }
 
 impl fmt::Display for ProtocolError {
@@ -57,6 +83,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::BadBlockSize { expected, got } => {
                 write!(f, "value has {got} bytes but the block size is {expected}")
+            }
+            ProtocolError::UnexpectedReply { expected, got } => {
+                write!(f, "storage node answered {got} where {expected} was required")
             }
         }
     }
@@ -104,5 +133,17 @@ mod tests {
 
         let e = ProtocolError::BadBlockSize { expected: 1024, got: 7 };
         assert!(e.to_string().contains("1024"));
+    }
+
+    #[test]
+    fn unexpected_reply_truncates_huge_payloads() {
+        let huge = vec![0xABu8; 4096];
+        let e = ProtocolError::unexpected("Reply::Probe", &huge);
+        let ProtocolError::UnexpectedReply { expected, got } = &e else {
+            panic!("wrong variant");
+        };
+        assert_eq!(*expected, "Reply::Probe");
+        assert!(got.len() < 120, "got {} chars", got.len());
+        assert!(e.to_string().contains("Reply::Probe"));
     }
 }

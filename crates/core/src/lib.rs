@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 mod client;
 mod config;
 mod error;
@@ -58,6 +59,7 @@ pub mod recovery;
 pub mod resilience;
 mod rpc;
 
+pub use backoff::{BackoffPolicy, BackoffSession, Jitter};
 pub use client::{Client, GcReport, MonitorReport};
 pub use config::{ProtocolConfig, UpdateStrategy};
 pub use error::ProtocolError;

@@ -101,6 +101,14 @@ pub fn find_consistent(states: &[GetStateReply], k: usize) -> Vec<usize> {
 
 /// Runs one recovery attempt for `stripe` (Fig. 6's `recover()`).
 ///
+/// On any error after locks were taken, a best-effort unlock is issued
+/// before the error propagates: a *live* client that errors out of
+/// recovery (e.g. persistent timeouts through a partition) gets no
+/// failure notification, so locks it leaves behind would never expire and
+/// the stripe would be bricked for everyone. The unlock itself is
+/// fire-and-forget — nodes that cannot be reached stay locked until this
+/// client retries (re-entrant `trylock`) or is declared failed.
+///
 /// # Errors
 ///
 /// [`ProtocolError::Unrecoverable`] if no `k` consistent blocks can be
@@ -112,6 +120,28 @@ pub(crate) fn recover(
     cfg: &ProtocolConfig,
     caller: ClientId,
     stripe: StripeId,
+) -> Result<RecoveryOutcome, ProtocolError> {
+    let mut reconstructing = false;
+    let outcome = recover_inner(endpoint, cfg, caller, stripe, &mut reconstructing);
+    if outcome.is_err() && !reconstructing {
+        best_effort_unlock(endpoint, cfg, caller, stripe);
+    }
+    // Once any `reconstruct` was dispatched the stripe MUST stay locked:
+    // some node may hold RECONS state pointing at the pre-recovery blocks,
+    // and the next recovery will decode from that saved consistent set
+    // (Fig. 6 line 9) *without re-checking it*. Unlocking here would let
+    // new writes mutate those blocks first and the re-decode would
+    // fabricate data. The locks are released by a recovery that finishes
+    // the job, or expire when this client is declared failed (§2).
+    outcome
+}
+
+fn recover_inner(
+    endpoint: &ClientEndpoint,
+    cfg: &ProtocolConfig,
+    caller: ClientId,
+    stripe: StripeId,
+    reconstructing: &mut bool,
 ) -> Result<RecoveryOutcome, ProtocolError> {
     let n = cfg.n();
     let k = cfg.k();
@@ -185,6 +215,9 @@ pub(crate) fn recover(
         let mut required = k + slack;
         let mut cset = find_consistent(&states, k);
         let mut patience = 0u32;
+        let mut backoff = cfg
+            .backoff
+            .session((u64::from(caller.0) << 40) ^ (stripe.0 << 8) ^ 5);
         loop {
             if cset.len() >= required {
                 // Re-acquire full locks before new adds slip in (Fig. 6
@@ -260,9 +293,7 @@ pub(crate) fn recover(
                 if cset.len() >= required {
                     break;
                 }
-                if !cfg.busy_retry_pause.is_zero() {
-                    std::thread::sleep(cfg.busy_retry_pause);
-                }
+                backoff.pause();
             }
         }
         cset
@@ -311,6 +342,9 @@ pub(crate) fn recover(
             )
         })
         .collect();
+    // Point of no return: from the first `reconstruct` onwards the locks
+    // must survive any error (see `recover`).
+    *reconstructing = true;
     let mut max_epoch = Epoch(0);
     for res in call_many(endpoint, cfg, writes) {
         let ep = expect_reply!(res?, Reply::Reconstruct);
@@ -357,6 +391,30 @@ fn unlock_all(
         res?;
     }
     Ok(())
+}
+
+/// Fire-and-forget unlock for error paths: release whatever locks this
+/// client still holds without letting a second failure mask the original
+/// error. Unreachable nodes are simply skipped.
+fn best_effort_unlock(
+    endpoint: &ClientEndpoint,
+    cfg: &ProtocolConfig,
+    caller: ClientId,
+    stripe: StripeId,
+) {
+    let releases: Vec<_> = (0..cfg.n())
+        .map(|t| {
+            (
+                NodeId(cfg.layout.node_for(stripe.0, t) as u32),
+                Request::SetLock {
+                    stripe,
+                    lm: LMode::Unl,
+                    caller,
+                },
+            )
+        })
+        .collect();
+    let _ = endpoint.call_many(releases);
 }
 
 #[cfg(test)]

@@ -8,29 +8,54 @@ use ajx_storage::{NodeId, Reply, Request};
 use ajx_transport::{ClientEndpoint, RpcError};
 
 /// Issues `req`, transparently remapping a crashed node once (§3.5: "clients
-/// simply access some logical node, which gets remapped on failures").
+/// simply access some logical node, which gets remapped on failures") and
+/// re-sending *idempotent* requests that failed indeterminately (timeout /
+/// lost reply / torn-down worker) up to the configured retry budget, with
+/// backoff between attempts.
+///
+/// Non-idempotent requests (`swap`, `add`) are never re-sent: the first
+/// copy may have executed, and executing twice corrupts the write. Their
+/// timeouts surface to the protocol layer, which owns the recovery story.
 ///
 /// # Errors
 ///
-/// Propagates transport errors that remapping cannot fix (client killed,
-/// unknown node, node crashed again immediately).
+/// Propagates transport errors that remapping and the retry budget cannot
+/// fix (client killed, unknown node, node crashed again immediately,
+/// persistent timeouts).
 pub(crate) fn call(
     endpoint: &ClientEndpoint,
     cfg: &ProtocolConfig,
     node: NodeId,
     req: Request,
 ) -> Result<Reply, ProtocolError> {
-    match endpoint.call(node, req.clone()) {
-        Ok(reply) => Ok(reply),
-        Err(RpcError::NodeDown(_)) if cfg.auto_remap => {
-            endpoint.network().remap_node(node, cfg.remap_garbage);
-            endpoint.call(node, req).map_err(ProtocolError::from)
+    let mut backoff = cfg
+        .backoff
+        .session(u64::from(endpoint.id().0) << 32 | u64::from(node.0));
+    let mut resends = 0u32;
+    loop {
+        match endpoint.call(node, req.clone()) {
+            Ok(reply) => return Ok(reply),
+            Err(RpcError::NodeDown(_)) if cfg.auto_remap => {
+                // A crash is determinate — no reason to burn retry budget.
+                endpoint.network().remap_node(node, cfg.remap_garbage);
+                return endpoint.call(node, req).map_err(ProtocolError::from);
+            }
+            Err(e)
+                if e.is_indeterminate()
+                    && req.is_idempotent()
+                    && resends < cfg.backoff.rpc_retry_budget =>
+            {
+                resends += 1;
+                backoff.pause();
+            }
+            Err(e) => return Err(ProtocolError::from(e)),
         }
-        Err(e) => Err(ProtocolError::from(e)),
     }
 }
 
-/// Parallel fan-out (`pfor`) with the same auto-remap semantics per call.
+/// Parallel fan-out (`pfor`) with the same auto-remap and idempotent-retry
+/// semantics per call. Failed calls are retried serially after the batch —
+/// the slow path only exists under faults.
 pub(crate) fn call_many(
     endpoint: &ClientEndpoint,
     cfg: &ProtocolConfig,
@@ -47,22 +72,31 @@ pub(crate) fn call_many(
                 endpoint.network().remap_node(node, cfg.remap_garbage);
                 endpoint.call(node, req).map_err(ProtocolError::from)
             }
+            Err(e)
+                if e.is_indeterminate()
+                    && req.is_idempotent()
+                    && cfg.backoff.rpc_retry_budget > 0 =>
+            {
+                call(endpoint, cfg, node, req)
+            }
             Err(e) => Err(ProtocolError::from(e)),
         })
         .collect()
 }
 
-/// Unwraps a reply variant, panicking on a cross-variant mismatch — that
-/// would be an internal protocol bug, not a runtime condition.
+/// Unwraps a reply variant; a cross-variant mismatch returns
+/// [`ProtocolError::UnexpectedReply`] from the enclosing function — a
+/// malformed reply is a node-side fault and must not crash the client.
 macro_rules! expect_reply {
     ($reply:expr, $variant:path) => {
         match $reply {
             $variant(inner) => inner,
-            other => unreachable!(
-                "storage node answered {:?} to a {} request",
-                other,
-                stringify!($variant)
-            ),
+            other => {
+                return Err($crate::error::ProtocolError::unexpected(
+                    stringify!($variant),
+                    &other,
+                ))
+            }
         }
     };
 }
@@ -133,6 +167,106 @@ mod tests {
                 assert!(read.block.is_some(), "node {i} untouched");
             }
         }
+    }
+
+    /// A network whose default link drops every request, with a short call
+    /// timeout and a zero-sleep backoff policy carrying `budget` re-sends.
+    fn setup_black_hole(
+        budget: u32,
+        auto_remap: bool,
+    ) -> (std::sync::Arc<Network>, ClientEndpoint, ProtocolConfig) {
+        use std::time::Duration;
+        let mut cfg = ProtocolConfig::new(2, 4, 16).unwrap();
+        cfg.auto_remap = auto_remap;
+        cfg.backoff = crate::backoff::BackoffPolicy {
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            multiplier: 2,
+            jitter: crate::backoff::Jitter::None,
+            rpc_retry_budget: budget,
+        };
+        let net = Network::new(NetworkConfig {
+            n_nodes: 4,
+            block_size: 16,
+            call_timeout: Some(Duration::from_millis(20)),
+            ..NetworkConfig::default()
+        });
+        let ep = net.client(ClientId(1));
+        (net, ep, cfg)
+    }
+
+    fn drop_all_requests() -> ajx_transport::LinkFaults {
+        ajx_transport::LinkFaults {
+            drop_req: 1.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn idempotent_timeout_is_retried_up_to_the_budget() {
+        let (net, ep, cfg) = setup_black_hole(3, true);
+        net.faults().set_link(ClientId(1), NodeId(0), drop_all_requests());
+        net.faults().set_tracing(true);
+        let err = call(&ep, &cfg, NodeId(0), Request::Read { stripe: StripeId(0) }).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ProtocolError::Rpc(RpcError::Timeout(_))
+        ));
+        let drops = net
+            .faults()
+            .take_trace()
+            .iter()
+            .filter(|l| l.contains("drop-req"))
+            .count();
+        assert_eq!(drops, 4, "initial send plus three budgeted re-sends");
+    }
+
+    #[test]
+    fn non_idempotent_timeout_is_never_resent() {
+        let (net, ep, cfg) = setup_black_hole(3, true);
+        net.faults().set_link(ClientId(1), NodeId(0), drop_all_requests());
+        net.faults().set_tracing(true);
+        let swap = Request::Swap {
+            stripe: StripeId(0),
+            value: vec![7; 16],
+            ntid: ajx_storage::Tid::new(1, 0, ClientId(1)),
+        };
+        let err = call(&ep, &cfg, NodeId(0), swap).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ProtocolError::Rpc(RpcError::Timeout(_))
+        ));
+        let drops = net
+            .faults()
+            .take_trace()
+            .iter()
+            .filter(|l| l.contains("drop-req"))
+            .count();
+        assert_eq!(drops, 1, "a swap may already have executed; one send only");
+    }
+
+    #[test]
+    fn timeout_is_not_misdiagnosed_as_a_crash_and_remapped() {
+        let (net, ep, cfg) = setup_black_hole(1, true);
+        // Seed node 0 with content before the link goes bad.
+        let swap = Request::Swap {
+            stripe: StripeId(0),
+            value: vec![9; 16],
+            ntid: ajx_storage::Tid::new(1, 0, ClientId(1)),
+        };
+        call(&ep, &cfg, NodeId(0), swap).unwrap();
+        net.faults().set_link(ClientId(1), NodeId(0), drop_all_requests());
+        let err = call(&ep, &cfg, NodeId(0), Request::Read { stripe: StripeId(0) }).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ProtocolError::Rpc(RpcError::Timeout(_))
+        ));
+        // Heal the link: the node must still hold its block. A remap (the
+        // old NodeDown handling) would have wiped it to an INIT replacement.
+        net.faults().clear();
+        let reply = call(&ep, &cfg, NodeId(0), Request::Read { stripe: StripeId(0) }).unwrap();
+        let Reply::Read(read) = reply else { panic!() };
+        assert_eq!(read.block.as_deref(), Some(&[9u8; 16][..]));
     }
 
     #[test]

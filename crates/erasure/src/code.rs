@@ -655,13 +655,13 @@ mod tests {
     fn encode_into_validates_shapes() {
         let rs = ReedSolomon::new(2, 4).unwrap();
         let data = random_data(2, 8, 0);
-        let mut short = vec![vec![0u8; 8]];
+        let mut short = [vec![0u8; 8]];
         let mut views: Vec<&mut [u8]> = short.iter_mut().map(|b| b.as_mut_slice()).collect();
         assert!(matches!(
             rs.encode_into(&data, &mut views),
             Err(CodeError::WrongBlockCount { .. })
         ));
-        let mut ragged = vec![vec![0u8; 8], vec![0u8; 9]];
+        let mut ragged = [vec![0u8; 8], vec![0u8; 9]];
         let mut views: Vec<&mut [u8]> = ragged.iter_mut().map(|b| b.as_mut_slice()).collect();
         assert!(matches!(
             rs.encode_into(&data, &mut views),

@@ -418,8 +418,8 @@ mod tests {
     #[test]
     fn static_tables_match_textbook() {
         for c in 0..=255usize {
-            for x in 0..=255usize {
-                assert_eq!(MUL_TABLES[c][x], textbook::mul(c as u8, x as u8));
+            for (x, &entry) in MUL_TABLES[c].iter().enumerate() {
+                assert_eq!(entry, textbook::mul(c as u8, x as u8));
             }
             for n in 0..16usize {
                 assert_eq!(NIB_TABLES[c][n], textbook::mul(c as u8, n as u8));

@@ -151,6 +151,19 @@ impl Request {
         }
     }
 
+    /// Whether re-sending this request after an indeterminate failure
+    /// (timeout / lost reply) is safe even if the first copy executed.
+    ///
+    /// `swap` returns the *previous* content and `add` XORs the delta in —
+    /// executing either twice corrupts the write, so the retry layer must
+    /// surface their timeouts instead of re-sending. Everything else is a
+    /// read, an idempotent state transition (`setlock`, `finalize`,
+    /// `reconstruct`, the GC moves), or — given re-entrant locking — a
+    /// `trylock` by the same caller.
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, Request::Swap { .. } | Request::Add { .. })
+    }
+
     /// Payload bytes carried by this request (block-sized fields only),
     /// plus the fixed header. Used for the Fig. 1 bandwidth columns and the
     /// simulator's bandwidth model.
@@ -192,6 +205,9 @@ pub enum Reply {
     Probe {
         /// Operational mode (INIT signals a remapped, unrecovered node).
         opmode: OpMode,
+        /// Lock mode — lets a prober distinguish "recovered and released"
+        /// from "recovery still holds the stripe".
+        lmode: LMode,
         /// Age (in node ticks) of the oldest pending write tid, if any.
         oldest_pending_age: Option<u64>,
     },
@@ -386,9 +402,10 @@ impl StorageNode {
             Request::GcOld { tids, .. } => Reply::Gc(state.gc_old(&tids)),
             Request::GcRecent { tids, .. } => Reply::Gc(state.gc_recent(&tids)),
             Request::Probe { .. } => {
-                let (opmode, oldest_pending_age) = state.probe();
+                let (opmode, lmode, oldest_pending_age) = state.probe();
                 Reply::Probe {
                     opmode,
+                    lmode,
                     oldest_pending_age,
                 }
             }
@@ -661,9 +678,11 @@ mod tests {
         match node.handle(Request::Probe { stripe: StripeId(0) }) {
             Reply::Probe {
                 opmode,
+                lmode,
                 oldest_pending_age,
             } => {
                 assert_eq!(opmode, OpMode::Norm);
+                assert_eq!(lmode, LMode::Unl);
                 assert!(oldest_pending_age.is_some());
             }
             other => panic!("unexpected {other:?}"),

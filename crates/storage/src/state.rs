@@ -10,6 +10,7 @@
 
 use crate::types::{ClientId, Epoch, LMode, OpMode, Tid, TidEntry};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Reply to `read` (Fig. 4 lines 12-14).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -114,6 +115,13 @@ pub struct BlockState {
     lid: Option<ClientId>,
     /// Saved consistent set for crash-tolerant recovery (Fig. 6).
     recons_set: Vec<usize>,
+    /// Replies of pending swaps, keyed by tid, so a duplicate delivery can
+    /// replay the *original* reply. A swap's reply carries the previous
+    /// block content, which the writer turns into redundancy increments —
+    /// answering a duplicate with the current (post-swap) content would
+    /// hand the writer a zero delta and silently void the redundancy
+    /// update. Entries live exactly as long as the tid's recentlist entry.
+    swap_replays: BTreeMap<Tid, SwapReply>,
 }
 
 impl BlockState {
@@ -130,6 +138,7 @@ impl BlockState {
             time: 0,
             lid: None,
             recons_set: Vec::new(),
+            swap_replays: BTreeMap::new(),
         }
     }
 
@@ -147,6 +156,7 @@ impl BlockState {
             time: 0,
             lid: None,
             recons_set: Vec::new(),
+            swap_replays: BTreeMap::new(),
         }
     }
 
@@ -184,6 +194,23 @@ impl BlockState {
                 lmode: self.lmode,
             };
         }
+        if self.seen_tid(ntid) {
+            // At-least-once delivery: this swap already executed. Applying
+            // it again would record the tid twice; instead replay the
+            // *original* reply. The reply must be exact: the writer derives
+            // its redundancy increments from the returned old content, so a
+            // fabricated reply (e.g. the current content) would yield a
+            // zero delta and silently void the update. If the replay was
+            // already pruned (tid GC'd — its write long since completed and
+            // acknowledged), reject like a lock refusal; nothing can still
+            // be waiting on it.
+            return self.swap_replays.get(&ntid).cloned().unwrap_or(SwapReply {
+                block: None,
+                epoch: self.epoch,
+                otid: None,
+                lmode: self.lmode,
+            });
+        }
         let retblk = std::mem::replace(&mut self.block, v);
         let otid = self
             .recentlist
@@ -191,12 +218,23 @@ impl BlockState {
             .max_by_key(|e| e.time)
             .map(|e| e.tid);
         self.recentlist.push(TidEntry { tid: ntid, time: now });
-        SwapReply {
+        let reply = SwapReply {
             block: Some(retblk),
             epoch: self.epoch,
             otid,
             lmode: self.lmode,
-        }
+        };
+        self.swap_replays.insert(ntid, reply.clone());
+        reply
+    }
+
+    /// Whether `tid` was already recorded here (either list) — the
+    /// duplicate-delivery guard for the non-idempotent mutations.
+    fn seen_tid(&self, tid: Tid) -> bool {
+        self.recentlist
+            .iter()
+            .chain(self.oldlist.iter())
+            .any(|entry| entry.tid == tid)
     }
 
     /// `add(v, ntid, otid, e)` — Fig. 5 lines 36-42: XORs the increment into
@@ -228,8 +266,13 @@ impl BlockState {
                 };
             }
         }
-        ajx_gf::slice::add_assign(&mut self.block, v);
-        self.recentlist.push(TidEntry { tid: ntid, time: now });
+        if !self.seen_tid(ntid) {
+            // At-least-once delivery: a duplicated add must not XOR the
+            // increment a second time — in GF(2^w) that *cancels* the
+            // update while the bookkeeping still claims it happened.
+            ajx_gf::slice::add_assign(&mut self.block, v);
+            self.recentlist.push(TidEntry { tid: ntid, time: now });
+        }
         AddReply {
             status: AddStatus::Ok,
             opmode: self.opmode,
@@ -252,9 +295,15 @@ impl BlockState {
 
     /// `trylock(lm)` — Fig. 6 lines 25-26: acquires the recovery lock unless
     /// another recovery already holds it (L0/L1).
+    ///
+    /// Re-entrant for the current holder: a recovery retried after an
+    /// indeterminate RPC (its first `trylock` executed but the reply was
+    /// lost) or restarted after a transient error must be able to reacquire
+    /// its own locks instead of deadlocking against itself until a failure
+    /// notification expires them.
     pub fn trylock(&mut self, lm: LMode, caller: ClientId) -> TryLockReply {
         self.tick();
-        if self.lmode.is_locked() {
+        if self.lmode.is_locked() && self.lid != Some(caller) {
             return TryLockReply {
                 ok: false,
                 old_lmode: self.lmode,
@@ -266,9 +315,28 @@ impl BlockState {
         TryLockReply { ok: true, old_lmode: old }
     }
 
-    /// `setlock(lm)` — unconditional lock-mode change by the recovery owner.
+    /// `setlock(lm)` — lock-mode change by the recovery owner.
+    ///
+    /// In Fig. 6 only the client that won `trylock` ever calls this, so the
+    /// pseudocode leaves it unconditional. With lossy transport a client
+    /// may issue a releasing `setlock` *after* losing the stripe (its error
+    /// path fires a best-effort unlock while a competing recovery holds the
+    /// locks), so a `setlock` from a non-holder on a locked block is
+    /// ignored rather than allowed to clobber the active recovery.
+    /// A second guard covers blocks in `RECONS` mode: once a `reconstruct`
+    /// has landed, the next recovery will re-decode from this block's saved
+    /// `recons_set` without re-checking it (Fig. 6 line 9), so the block
+    /// must not return to `UNL` before a `finalize` — even for the holder's
+    /// own error-path unlock. (`EXP` is still allowed: it keeps writes out
+    /// and lets a successor recovery take over.)
     pub fn setlock(&mut self, lm: LMode, caller: ClientId) {
         self.tick();
+        if self.lmode.is_locked() && self.lid != Some(caller) {
+            return;
+        }
+        if self.opmode == OpMode::Recons && lm == LMode::Unl {
+            return;
+        }
         self.lmode = lm;
         self.lid = Some(caller);
     }
@@ -325,6 +393,7 @@ impl BlockState {
         self.epoch = ep;
         self.recentlist.clear();
         self.oldlist.clear();
+        self.swap_replays.clear();
         if self.opmode == OpMode::Recons {
             self.opmode = OpMode::Norm;
         }
@@ -359,6 +428,9 @@ impl BlockState {
                 true
             }
         });
+        for e in &moved {
+            self.swap_replays.remove(&e.tid);
+        }
         self.oldlist.extend(moved);
         true
     }
@@ -415,9 +487,9 @@ impl BlockState {
     /// "auto incremented at some rate"; ours ticks per operation,
     /// *including* probes, so abandoned writes age even on otherwise idle
     /// blocks) and reports the §3.10 signals.
-    pub fn probe(&mut self) -> (OpMode, Option<u64>) {
+    pub fn probe(&mut self) -> (OpMode, LMode, Option<u64>) {
         self.tick();
-        (self.opmode, self.oldest_recent_age())
+        (self.opmode, self.lmode, self.oldest_recent_age())
     }
 
     /// Bytes of protocol metadata kept beyond the block content (§6.5):
@@ -446,6 +518,94 @@ mod tests {
         let r = s.read();
         assert_eq!(r.block, Some(vec![0; 4]));
         assert_eq!(r.lmode, LMode::Unl);
+    }
+
+    #[test]
+    fn duplicated_add_is_applied_exactly_once() {
+        let mut s = BlockState::new(4);
+        let r = s.add(&[7, 7, 7, 7], tid(1), None, Epoch(0));
+        assert_eq!(r.status, AddStatus::Ok);
+        assert_eq!(s.raw_block(), &[7, 7, 7, 7]);
+        // An at-least-once network redelivers the same add: a second XOR
+        // would cancel the update entirely.
+        let r = s.add(&[7, 7, 7, 7], tid(1), None, Epoch(0));
+        assert_eq!(r.status, AddStatus::Ok, "duplicate is acknowledged");
+        assert_eq!(s.raw_block(), &[7, 7, 7, 7], "but not re-applied");
+        assert_eq!(s.pending_tids(), 1, "and not re-recorded");
+    }
+
+    #[test]
+    fn duplicated_swap_is_applied_exactly_once() {
+        let mut s = BlockState::new(4);
+        let first = s.swap(vec![9; 4], tid(1));
+        let dup = s.swap(vec![9; 4], tid(1));
+        assert_eq!(s.raw_block(), &[9, 9, 9, 9]);
+        assert_eq!(s.pending_tids(), 1, "tid recorded once");
+        // The duplicate must replay the original reply exactly: the writer
+        // computes its redundancy delta from the returned old content, so
+        // answering with the post-swap content would zero the delta.
+        assert_eq!(dup, first);
+        assert_eq!(dup.block.as_deref(), Some(&[0u8, 0, 0, 0][..]));
+    }
+
+    #[test]
+    fn trylock_is_reentrant_for_the_holder_only() {
+        let mut s = BlockState::new(4);
+        assert!(s.trylock(LMode::L1, ClientId(1)).ok);
+        // A competing recovery is still refused.
+        let r = s.trylock(LMode::L1, ClientId(2));
+        assert!(!r.ok);
+        assert_eq!(r.old_lmode, LMode::L1);
+        // The holder retrying (lost reply / restarted recovery) reacquires.
+        let r = s.trylock(LMode::L1, ClientId(1));
+        assert!(r.ok);
+        assert_eq!(r.old_lmode, LMode::L1);
+        assert_eq!(s.lock_holder(), Some(ClientId(1)));
+    }
+
+    #[test]
+    fn setlock_from_a_non_holder_cannot_clobber_a_held_lock() {
+        let mut s = BlockState::new(4);
+        s.trylock(LMode::L1, ClientId(1));
+        // A stale unlock from a client that lost the stripe is ignored...
+        s.setlock(LMode::Unl, ClientId(2));
+        assert_eq!(s.lmode(), LMode::L1);
+        assert_eq!(s.lock_holder(), Some(ClientId(1)));
+        // ...while the holder's own transitions still work.
+        s.setlock(LMode::L0, ClientId(1));
+        assert_eq!(s.lmode(), LMode::L0);
+        s.setlock(LMode::Unl, ClientId(1));
+        assert_eq!(s.lmode(), LMode::Unl);
+        // Once unlocked, anyone may set a mode (e.g. restoring EXP).
+        s.setlock(LMode::Exp, ClientId(2));
+        assert_eq!(s.lmode(), LMode::Exp);
+    }
+
+    #[test]
+    fn recons_block_cannot_be_unlocked_before_finalize() {
+        let mut s = BlockState::new(4);
+        s.trylock(LMode::L1, ClientId(1));
+        s.reconstruct(vec![0, 1], vec![7; 4]);
+        // The holder's own error-path unlock must not reopen the stripe to
+        // writes while a stale recons_set is pinned here...
+        s.setlock(LMode::Unl, ClientId(1));
+        assert_eq!(s.lmode(), LMode::L1);
+        // ...but expiry (failed-holder detection) still transitions it, and
+        // finalize performs the real unlock.
+        assert!(s.expire_lock_if_held_by(ClientId(1)));
+        assert_eq!(s.lmode(), LMode::Exp);
+        s.trylock(LMode::L1, ClientId(2));
+        s.finalize(Epoch(3));
+        assert_eq!(s.lmode(), LMode::Unl);
+        assert_eq!(s.opmode(), OpMode::Norm);
+    }
+
+    #[test]
+    fn probe_reports_lock_mode() {
+        let mut s = BlockState::new(4);
+        assert_eq!(s.probe().1, LMode::Unl);
+        s.trylock(LMode::L1, ClientId(1));
+        assert_eq!(s.probe().1, LMode::L1);
     }
 
     #[test]

@@ -6,7 +6,9 @@ use core::fmt;
 /// Why an RPC failed to complete.
 ///
 /// The paper's failure model (§2) is fail-stop: nodes halt and the halt is
-/// detectable. These errors are the transport-level manifestation.
+/// detectable. These errors are the transport-level manifestation, extended
+/// with the lossy-network conditions ([`RpcError::Timeout`]) that the
+/// fault-injection layer of [`crate::FaultPlan`] introduces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RpcError {
     /// The target storage node has crashed (fail-stop) and not been
@@ -18,6 +20,23 @@ pub enum RpcError {
     ClientKilled,
     /// The node id is not part of this network.
     UnknownNode(NodeId),
+    /// No reply arrived within the per-call deadline: the request or its
+    /// reply was dropped, a partition blocked the link, or the node was too
+    /// slow. The caller cannot tell whether the request executed.
+    Timeout(NodeId),
+    /// The reply channel closed without a reply: the network was torn down
+    /// or the node's worker threads died mid-call. Distinct from
+    /// [`RpcError::ClientKilled`] — the *caller* is fine.
+    NetTornDown(NodeId),
+}
+
+impl RpcError {
+    /// Whether the caller can know the request was *not* executed. A
+    /// [`RpcError::Timeout`] or [`RpcError::NetTornDown`] is ambiguous: the
+    /// request may have been applied even though no reply came back.
+    pub fn is_indeterminate(&self) -> bool {
+        matches!(self, RpcError::Timeout(_) | RpcError::NetTornDown(_))
+    }
 }
 
 impl fmt::Display for RpcError {
@@ -26,6 +45,10 @@ impl fmt::Display for RpcError {
             RpcError::NodeDown(n) => write!(f, "storage node {n} is down"),
             RpcError::ClientKilled => write!(f, "client was killed by fault injection"),
             RpcError::UnknownNode(n) => write!(f, "storage node {n} does not exist"),
+            RpcError::Timeout(n) => write!(f, "call to storage node {n} timed out"),
+            RpcError::NetTornDown(n) => {
+                write!(f, "transport to storage node {n} was torn down mid-call")
+            }
         }
     }
 }
@@ -44,5 +67,16 @@ mod tests {
         );
         assert!(RpcError::ClientKilled.to_string().contains("killed"));
         assert!(RpcError::UnknownNode(NodeId(9)).to_string().contains("s9"));
+        assert!(RpcError::Timeout(NodeId(1)).to_string().contains("timed out"));
+        assert!(RpcError::NetTornDown(NodeId(0)).to_string().contains("torn down"));
+    }
+
+    #[test]
+    fn indeterminate_errors_are_the_ambiguous_ones() {
+        assert!(RpcError::Timeout(NodeId(0)).is_indeterminate());
+        assert!(RpcError::NetTornDown(NodeId(0)).is_indeterminate());
+        assert!(!RpcError::NodeDown(NodeId(0)).is_indeterminate());
+        assert!(!RpcError::ClientKilled.is_indeterminate());
+        assert!(!RpcError::UnknownNode(NodeId(0)).is_indeterminate());
     }
 }

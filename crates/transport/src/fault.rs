@@ -1,0 +1,453 @@
+//! Deterministic fault injection for the in-process network.
+//!
+//! The paper's evaluation only exercises clean fail-stop crashes, but its
+//! correctness argument (§3.8–§3.10 recovery, §4 resilience bounds) must
+//! hold on *lossy, slow, partitioned* networks too — the environments the
+//! FAB lineage and later erasure-coded register constructions validate
+//! against. This module injects exactly those conditions, deterministically:
+//!
+//! * **Per-link message faults** ([`LinkFaults`]): drop the request, drop
+//!   the reply, delay the exchange, or duplicate the request (at-least-once
+//!   delivery), each with an independent probability.
+//! * **One-way partitions**: block client→node or node→client traffic on a
+//!   specific link while the reverse direction still works.
+//! * **Per-node slowdowns**: add latency to every exchange with one node.
+//!
+//! Every decision is a pure function of `(seed, client, node, per-link call
+//! sequence number, fault kind)` through a splitmix64 mix — no shared RNG
+//! stream — so two runs with the same seed and the same per-link call
+//! sequences make byte-identical drop/delay/duplicate choices regardless of
+//! wall-clock timing. An optional trace records every injected fault for
+//! replay comparison.
+
+use ajx_storage::{ClientId, NodeId};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Fault probabilities for one client↔node link (or the all-links default).
+///
+/// All probabilities are in `[0, 1]`; the inert default injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkFaults {
+    /// Probability that a request is dropped before reaching the node.
+    pub drop_req: f64,
+    /// Probability that a reply is dropped on its way back (the request
+    /// *was* executed — the ambiguous half of a lost exchange).
+    pub drop_reply: f64,
+    /// Probability that an exchange is delayed by [`LinkFaults::delay`].
+    pub delay_p: f64,
+    /// The injected delay when `delay_p` fires.
+    pub delay: Duration,
+    /// Probability that a request is delivered twice (at-least-once RPC).
+    pub dup_req: f64,
+}
+
+impl LinkFaults {
+    /// True if this rule can never inject anything.
+    pub fn is_inert(&self) -> bool {
+        self.drop_req <= 0.0
+            && self.drop_reply <= 0.0
+            && (self.delay_p <= 0.0 || self.delay.is_zero())
+            && self.dup_req <= 0.0
+    }
+}
+
+/// The per-call outcome of consulting the plan (crate-internal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Fate {
+    /// Deliver the request to the node at all?
+    pub deliver_req: bool,
+    /// Deliver it a second time (only meaningful when `deliver_req`)?
+    pub duplicate_req: bool,
+    /// Discard the reply after the node produced it?
+    pub drop_reply: bool,
+    /// Extra latency injected into the exchange.
+    pub delay: Duration,
+}
+
+impl Fate {
+    pub(crate) const CLEAN: Fate = Fate {
+        deliver_req: true,
+        duplicate_req: false,
+        drop_reply: false,
+        delay: Duration::ZERO,
+    };
+}
+
+/// Salts separating the independent per-call random decisions.
+const SALT_DROP_REQ: u64 = 0x9E37_79B9_7F4A_7C15;
+const SALT_DROP_REPLY: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const SALT_DELAY: u64 = 0x1656_67B1_9E37_79F9;
+const SALT_DUP: u64 = 0x2545_F491_4F6C_DD1D;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Draws a deterministic Bernoulli sample for one (link, call, kind).
+fn hits(seed: u64, client: ClientId, node: NodeId, seq: u64, salt: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    let h = splitmix64(
+        seed ^ salt
+            ^ (u64::from(client.0) << 40)
+            ^ (u64::from(node.0) << 24)
+            ^ seq.wrapping_mul(0x9E37_79B9),
+    );
+    // 53 uniform bits → [0, 1).
+    ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+}
+
+#[derive(Debug, Default)]
+struct FaultTable {
+    default_link: LinkFaults,
+    links: HashMap<(ClientId, NodeId), LinkFaults>,
+    /// Blocked client→node directions (requests never arrive).
+    blocked_req: HashSet<(ClientId, NodeId)>,
+    /// Blocked node→client directions (replies never arrive).
+    blocked_reply: HashSet<(ClientId, NodeId)>,
+    /// Extra per-exchange latency for a node (overloaded/slow host).
+    slowdown: HashMap<NodeId, Duration>,
+}
+
+impl FaultTable {
+    fn is_inert(&self) -> bool {
+        self.default_link.is_inert()
+            && self.links.values().all(LinkFaults::is_inert)
+            && self.blocked_req.is_empty()
+            && self.blocked_reply.is_empty()
+            && self.slowdown.is_empty()
+    }
+}
+
+/// The network's seeded fault-injection plan.
+///
+/// One plan is shared by every endpoint of a [`crate::Network`]; all methods
+/// take `&self` and are thread-safe. A fresh plan injects nothing. Typical
+/// chaos setup:
+///
+/// ```
+/// use ajx_transport::{LinkFaults, Network, NetworkConfig};
+/// use std::time::Duration;
+///
+/// let net = Network::new(NetworkConfig {
+///     call_timeout: Some(Duration::from_millis(5)),
+///     ..NetworkConfig::default()
+/// });
+/// net.faults().set_seed(42);
+/// net.faults().set_default_link(LinkFaults {
+///     drop_req: 0.05,
+///     drop_reply: 0.05,
+///     delay_p: 0.1,
+///     delay: Duration::from_micros(200),
+///     ..LinkFaults::default()
+/// });
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    table: Mutex<FaultTable>,
+    seed: Mutex<u64>,
+    /// Fast path: skip the table lock entirely while no fault is configured.
+    active: AtomicBool,
+    trace: Mutex<Vec<String>>,
+    tracing: AtomicBool,
+}
+
+impl FaultPlan {
+    /// A fresh, inert plan.
+    pub(crate) fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the seed all per-call decisions derive from.
+    pub fn set_seed(&self, seed: u64) {
+        *self.seed.lock() = seed;
+    }
+
+    /// Sets the fault rule applied to links without a specific override.
+    pub fn set_default_link(&self, faults: LinkFaults) {
+        let mut t = self.table.lock();
+        t.default_link = faults;
+        self.refresh_active(&t);
+    }
+
+    /// Overrides the fault rule for one client→node link.
+    pub fn set_link(&self, client: ClientId, node: NodeId, faults: LinkFaults) {
+        let mut t = self.table.lock();
+        t.links.insert((client, node), faults);
+        self.refresh_active(&t);
+    }
+
+    /// Blocks the client→node direction of a link: requests are silently
+    /// lost (the client sees [`crate::RpcError::Timeout`]).
+    pub fn partition_requests(&self, client: ClientId, node: NodeId) {
+        let mut t = self.table.lock();
+        t.blocked_req.insert((client, node));
+        self.refresh_active(&t);
+        self.record(format!("nemesis partition-req c{}->s{}", client.0, node.0));
+    }
+
+    /// Blocks the node→client direction: requests execute, replies are lost.
+    pub fn partition_replies(&self, client: ClientId, node: NodeId) {
+        let mut t = self.table.lock();
+        t.blocked_reply.insert((client, node));
+        self.refresh_active(&t);
+        self.record(format!("nemesis partition-reply s{}->c{}", node.0, client.0));
+    }
+
+    /// Heals every partition (both directions, all links).
+    pub fn heal_partitions(&self) {
+        let mut t = self.table.lock();
+        let had = !t.blocked_req.is_empty() || !t.blocked_reply.is_empty();
+        t.blocked_req.clear();
+        t.blocked_reply.clear();
+        self.refresh_active(&t);
+        if had {
+            self.record("nemesis heal-partitions".to_string());
+        }
+    }
+
+    /// Adds `extra` latency to every exchange with `node` (`ZERO` clears).
+    pub fn set_node_slowdown(&self, node: NodeId, extra: Duration) {
+        let mut t = self.table.lock();
+        if extra.is_zero() {
+            t.slowdown.remove(&node);
+        } else {
+            t.slowdown.insert(node, extra);
+        }
+        self.refresh_active(&t);
+        self.record(format!("nemesis slowdown s{} {}us", node.0, extra.as_micros()));
+    }
+
+    /// Removes every configured fault, partition, and slowdown.
+    pub fn clear(&self) {
+        let mut t = self.table.lock();
+        *t = FaultTable::default();
+        self.active.store(false, Ordering::SeqCst);
+    }
+
+    /// Appends a caller-supplied line to the fault-event trace — the chaos
+    /// harness uses this to interleave nemesis actions that live outside
+    /// the transport (node crashes, directory remaps) with injected faults,
+    /// keeping one totally-ordered event stream per run.
+    pub fn note(&self, line: impl Into<String>) {
+        self.record(line.into());
+    }
+
+    /// Enables or disables fault-event tracing.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::SeqCst);
+    }
+
+    /// Drains the recorded fault-event trace.
+    ///
+    /// With a single driving thread the order is deterministic for a given
+    /// seed; concurrent drivers should sort before comparing (each line
+    /// carries its link and per-link sequence number).
+    pub fn take_trace(&self) -> Vec<String> {
+        std::mem::take(&mut *self.trace.lock())
+    }
+
+    fn refresh_active(&self, t: &FaultTable) {
+        self.active.store(!t.is_inert(), Ordering::SeqCst);
+    }
+
+    fn record(&self, line: String) {
+        if self.tracing.load(Ordering::SeqCst) {
+            self.trace.lock().push(line);
+        }
+    }
+
+    /// Decides the fate of per-link call number `seq` from `client` to
+    /// `node`. Pure in `(seed, client, node, seq)` given a fixed table.
+    pub(crate) fn fate(&self, client: ClientId, node: NodeId, seq: u64) -> Fate {
+        if !self.active.load(Ordering::SeqCst) {
+            return Fate::CLEAN;
+        }
+        let (rule, req_blocked, reply_blocked, slow) = {
+            let t = self.table.lock();
+            (
+                t.links.get(&(client, node)).copied().unwrap_or(t.default_link),
+                t.blocked_req.contains(&(client, node)),
+                t.blocked_reply.contains(&(client, node)),
+                t.slowdown.get(&node).copied().unwrap_or(Duration::ZERO),
+            )
+        };
+        let seed = *self.seed.lock();
+        let mut fate = Fate::CLEAN;
+        fate.delay = slow;
+        if hits(seed, client, node, seq, SALT_DELAY, rule.delay_p) {
+            fate.delay += rule.delay;
+            self.record(format!(
+                "c{}->s{} #{seq} delay {}us",
+                client.0,
+                node.0,
+                rule.delay.as_micros()
+            ));
+        }
+        if req_blocked || hits(seed, client, node, seq, SALT_DROP_REQ, rule.drop_req) {
+            fate.deliver_req = false;
+            self.record(format!(
+                "c{}->s{} #{seq} {}",
+                client.0,
+                node.0,
+                if req_blocked { "blocked-req" } else { "drop-req" }
+            ));
+            return fate;
+        }
+        if hits(seed, client, node, seq, SALT_DUP, rule.dup_req) {
+            fate.duplicate_req = true;
+            self.record(format!("c{}->s{} #{seq} dup-req", client.0, node.0));
+        }
+        if reply_blocked || hits(seed, client, node, seq, SALT_DROP_REPLY, rule.drop_reply) {
+            fate.drop_reply = true;
+            self.record(format!(
+                "s{}->c{} #{seq} {}",
+                node.0,
+                client.0,
+                if reply_blocked { "blocked-reply" } else { "drop-reply" }
+            ));
+        }
+        fate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy() -> LinkFaults {
+        LinkFaults {
+            drop_req: 0.3,
+            drop_reply: 0.2,
+            delay_p: 0.1,
+            delay: Duration::from_micros(50),
+            dup_req: 0.1,
+        }
+    }
+
+    #[test]
+    fn inert_plan_is_clean_for_every_call() {
+        let plan = FaultPlan::new();
+        for seq in 0..100 {
+            assert_eq!(plan.fate(ClientId(1), NodeId(0), seq), Fate::CLEAN);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_the_seed() {
+        let mk = |seed| {
+            let plan = FaultPlan::new();
+            plan.set_seed(seed);
+            plan.set_default_link(lossy());
+            (0..500)
+                .map(|seq| plan.fate(ClientId(3), NodeId(2), seq))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(7), mk(7), "same seed, same fates");
+        assert_ne!(mk(7), mk(8), "different seed, different fates");
+    }
+
+    #[test]
+    fn links_have_independent_decision_streams() {
+        let plan = FaultPlan::new();
+        plan.set_seed(1);
+        plan.set_default_link(lossy());
+        let a: Vec<_> = (0..200).map(|s| plan.fate(ClientId(1), NodeId(0), s)).collect();
+        let b: Vec<_> = (0..200).map(|s| plan.fate(ClientId(2), NodeId(0), s)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn probabilities_are_roughly_honoured() {
+        let plan = FaultPlan::new();
+        plan.set_seed(99);
+        plan.set_default_link(LinkFaults {
+            drop_req: 0.25,
+            ..LinkFaults::default()
+        });
+        let dropped = (0..4000)
+            .filter(|&s| !plan.fate(ClientId(0), NodeId(0), s).deliver_req)
+            .count();
+        assert!((800..1200).contains(&dropped), "got {dropped} drops of ~1000");
+    }
+
+    #[test]
+    fn one_way_partitions_block_only_their_direction() {
+        let plan = FaultPlan::new();
+        plan.partition_requests(ClientId(1), NodeId(0));
+        let f = plan.fate(ClientId(1), NodeId(0), 0);
+        assert!(!f.deliver_req);
+        // Other links untouched.
+        assert!(plan.fate(ClientId(2), NodeId(0), 0).deliver_req);
+        assert!(plan.fate(ClientId(1), NodeId(1), 0).deliver_req);
+
+        plan.heal_partitions();
+        assert!(plan.fate(ClientId(1), NodeId(0), 0).deliver_req);
+
+        plan.partition_replies(ClientId(1), NodeId(0));
+        let f = plan.fate(ClientId(1), NodeId(0), 0);
+        assert!(f.deliver_req && f.drop_reply);
+    }
+
+    #[test]
+    fn slowdown_applies_to_every_exchange_with_the_node() {
+        let plan = FaultPlan::new();
+        plan.set_node_slowdown(NodeId(2), Duration::from_micros(300));
+        assert_eq!(
+            plan.fate(ClientId(0), NodeId(2), 0).delay,
+            Duration::from_micros(300)
+        );
+        assert_eq!(plan.fate(ClientId(0), NodeId(1), 0).delay, Duration::ZERO);
+        plan.set_node_slowdown(NodeId(2), Duration::ZERO);
+        assert_eq!(plan.fate(ClientId(0), NodeId(2), 0).delay, Duration::ZERO);
+    }
+
+    #[test]
+    fn per_link_override_beats_the_default() {
+        let plan = FaultPlan::new();
+        plan.set_seed(5);
+        plan.set_default_link(LinkFaults {
+            drop_req: 1.0,
+            ..LinkFaults::default()
+        });
+        plan.set_link(ClientId(1), NodeId(0), LinkFaults::default());
+        assert!(plan.fate(ClientId(1), NodeId(0), 0).deliver_req, "override is clean");
+        assert!(!plan.fate(ClientId(1), NodeId(1), 0).deliver_req, "default drops");
+    }
+
+    #[test]
+    fn trace_records_and_drains_events() {
+        let plan = FaultPlan::new();
+        plan.set_tracing(true);
+        plan.set_seed(3);
+        plan.set_default_link(LinkFaults {
+            drop_req: 1.0,
+            ..LinkFaults::default()
+        });
+        let _ = plan.fate(ClientId(1), NodeId(2), 17);
+        let trace = plan.take_trace();
+        assert_eq!(trace, vec!["c1->s2 #17 drop-req".to_string()]);
+        assert!(plan.take_trace().is_empty(), "drained");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let plan = FaultPlan::new();
+        plan.set_default_link(lossy());
+        plan.partition_requests(ClientId(0), NodeId(0));
+        plan.clear();
+        for seq in 0..50 {
+            assert_eq!(plan.fate(ClientId(0), NodeId(0), seq), Fate::CLEAN);
+        }
+    }
+}

@@ -14,8 +14,12 @@
 //! * Fault injection — fail-stop node crashes ([`Network::crash_node`]),
 //!   directory-style remap to a fresh INIT node ([`Network::remap_node`],
 //!   §3.5), deterministic client kills ([`ClientEndpoint::kill_after`]),
-//!   and client-failure detection that expires recovery locks
-//!   ([`Network::notify_client_failure`], Fig. 6 line 34).
+//!   client-failure detection that expires recovery locks
+//!   ([`Network::notify_client_failure`], Fig. 6 line 34), and a seeded
+//!   per-link [`FaultPlan`] (message drops, delays, duplicates, one-way
+//!   partitions, per-node slowdowns) whose decisions are deterministic in
+//!   the seed — pair it with [`NetworkConfig::call_timeout`] so lost
+//!   exchanges surface as [`RpcError::Timeout`].
 //! * [`NetStats`] — message/byte counters behind the measured Fig. 1 table.
 //!
 //! # Example
@@ -36,10 +40,12 @@
 
 mod bucket;
 mod error;
+mod fault;
 mod network;
 mod stats;
 
 pub use bucket::TokenBucket;
 pub use error::RpcError;
+pub use fault::{FaultPlan, LinkFaults};
 pub use network::{ClientEndpoint, Network, NetworkConfig};
 pub use stats::{NetSnapshot, NetStats};

@@ -12,10 +12,11 @@
 
 use crate::bucket::TokenBucket;
 use crate::error::RpcError;
+use crate::fault::{Fate, FaultPlan};
 use crate::stats::NetStats;
 use ajx_erasure::ReedSolomon;
 use ajx_storage::{ClientId, FlushPolicy, NodeId, Reply, Request, StorageNode};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -43,6 +44,11 @@ pub struct NetworkConfig {
     pub code: Option<ReedSolomon>,
     /// Media flush policy for the nodes (§3.11 ablation).
     pub flush_policy: FlushPolicy,
+    /// Per-call reply deadline. `None` (the default) waits forever, which
+    /// is correct on a fault-free network; any run that injects message
+    /// loss or partitions via [`crate::FaultPlan`] should set a deadline so
+    /// lost exchanges surface as [`RpcError::Timeout`] instead of hanging.
+    pub call_timeout: Option<Duration>,
 }
 
 impl Default for NetworkConfig {
@@ -58,6 +64,7 @@ impl Default for NetworkConfig {
             server_threads: 4,
             code: None,
             flush_policy: FlushPolicy::WriteThrough,
+            call_timeout: None,
         }
     }
 }
@@ -125,6 +132,8 @@ pub struct Network {
     slots: Vec<NodeSlot>,
     latency: Duration,
     client_bandwidth: Option<u64>,
+    call_timeout: Option<Duration>,
+    faults: FaultPlan,
     stats: NetStats,
 }
 
@@ -158,6 +167,8 @@ impl Network {
             slots,
             latency: cfg.one_way_latency,
             client_bandwidth: cfg.client_bandwidth,
+            call_timeout: cfg.call_timeout,
+            faults: FaultPlan::new(),
             stats: NetStats::new(),
         })
     }
@@ -169,6 +180,7 @@ impl Network {
 
     /// Creates an endpoint through which a client issues RPCs.
     pub fn client(self: &Arc<Self>, id: ClientId) -> ClientEndpoint {
+        let fault_seq = (0..self.slots.len()).map(|_| AtomicU64::new(0)).collect();
         ClientEndpoint {
             net: Arc::clone(self),
             id,
@@ -176,7 +188,18 @@ impl Network {
             stats: NetStats::new(),
             calls_before_kill: AtomicU64::new(u64::MAX),
             killed: AtomicBool::new(false),
+            fault_seq,
         }
+    }
+
+    /// The network's fault-injection plan (inert until configured).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The per-call reply deadline, if one was configured.
+    pub fn call_timeout(&self) -> Option<Duration> {
+        self.call_timeout
     }
 
     /// Fail-stops a storage node: subsequent RPCs return
@@ -237,20 +260,91 @@ impl Network {
     /// Delivers a batch of requests that were sent "at the same time" (one
     /// propagation delay each way for the whole batch — the paper's
     /// `pfor` round). Returns replies in request order.
-    fn deliver_batch(&self, calls: Vec<(NodeId, Request)>) -> Vec<Result<Reply, RpcError>> {
-        let mut pending: Vec<Result<Receiver<Result<Reply, RpcError>>, RpcError>> =
-            Vec::with_capacity(calls.len());
+    ///
+    /// The endpoint is threaded through so each call draws its fate from
+    /// the client's per-link fault sequence counters, keeping the injected
+    /// drop/delay/duplicate decisions deterministic per `(seed, link, seq)`.
+    fn deliver_batch(
+        &self,
+        ep: &ClientEndpoint,
+        calls: Vec<(NodeId, Request)>,
+    ) -> Vec<Result<Reply, RpcError>> {
+        enum Pending {
+            /// The exchange is in flight; wait on the reply channel.
+            InFlight(NodeId, Receiver<Result<Reply, RpcError>>),
+            /// The request or reply was lost; resolves to `Timeout` after
+            /// the shared deadline wait.
+            Lost(NodeId),
+            /// Failed before leaving the client.
+            Failed(RpcError),
+        }
+
+        let mut pending: Vec<Pending> = Vec::with_capacity(calls.len());
+        let mut injected_delay = Duration::ZERO;
+        let mut any_lost = false;
         self.sleep_latency(); // outbound propagation (shared window)
         for (node, req) in calls {
-            pending.push(self.submit(node, req));
+            let fate = match ep.fault_seq.get(node.0 as usize) {
+                Some(ctr) => {
+                    let seq = ctr.fetch_add(1, Ordering::Relaxed);
+                    self.faults.fate(ep.id, node, seq)
+                }
+                // Unknown node: no link exists, submit rejects it below.
+                None => Fate::CLEAN,
+            };
+            injected_delay = injected_delay.max(fate.delay);
+            if !fate.deliver_req {
+                any_lost = true;
+                pending.push(Pending::Lost(node));
+                continue;
+            }
+            if fate.duplicate_req {
+                // At-least-once delivery: the node executes the request a
+                // second time; the duplicate's reply goes nowhere.
+                let _ = self.submit(node, req.clone());
+            }
+            match self.submit(node, req) {
+                Ok(rx) if fate.drop_reply => {
+                    // The node executes the request but the reply is lost:
+                    // dropping the receiver discards whatever it sends.
+                    drop(rx);
+                    any_lost = true;
+                    pending.push(Pending::Lost(node));
+                }
+                Ok(rx) => pending.push(Pending::InFlight(node, rx)),
+                Err(e) => pending.push(Pending::Failed(e)),
+            }
+        }
+        // The whole batch shares one propagation window, so injected link
+        // delay is paid once (the max across the batch), like the base
+        // latency.
+        if !injected_delay.is_zero() {
+            std::thread::sleep(injected_delay);
+        }
+        if any_lost {
+            // The client discovers a lost exchange only by waiting out its
+            // deadline; one shared wait covers every lost call in the batch
+            // (they time out in parallel). Without a configured deadline
+            // the loss still surfaces as `Timeout`, just instantly.
+            if let Some(t) = self.call_timeout {
+                std::thread::sleep(t);
+            }
         }
         let mut replies = Vec::with_capacity(pending.len());
         for p in pending {
             replies.push(match p {
-                Err(e) => Err(e),
-                Ok(rx) => match rx.recv() {
-                    Ok(r) => r,
-                    Err(_) => Err(RpcError::ClientKilled), // network torn down
+                Pending::Failed(e) => Err(e),
+                Pending::Lost(node) => Err(RpcError::Timeout(node)),
+                Pending::InFlight(node, rx) => match self.call_timeout {
+                    Some(t) => match rx.recv_timeout(t) {
+                        Ok(r) => r,
+                        Err(RecvTimeoutError::Timeout) => Err(RpcError::Timeout(node)),
+                        Err(RecvTimeoutError::Disconnected) => Err(RpcError::NetTornDown(node)),
+                    },
+                    None => match rx.recv() {
+                        Ok(r) => r,
+                        Err(_) => Err(RpcError::NetTornDown(node)),
+                    },
                 },
             });
         }
@@ -273,11 +367,14 @@ impl Network {
         if !slot.up.load(Ordering::SeqCst) {
             return Err(RpcError::NodeDown(node));
         }
-        self.stats.record_send(req.wire_bytes());
+        let wire_bytes = req.wire_bytes();
         let (tx, rx) = bounded(1);
         slot.queue
             .send(Job { req, reply_tx: tx })
             .map_err(|_| RpcError::NodeDown(node))?;
+        // Counted only after the queue accepted the message: a send that
+        // never left the client must not inflate `msgs_sent`.
+        self.stats.record_send(wire_bytes);
         Ok(rx)
     }
 }
@@ -306,6 +403,9 @@ pub struct ClientEndpoint {
     /// Remaining successful calls before fault injection kills this client.
     calls_before_kill: AtomicU64,
     killed: AtomicBool,
+    /// Per-node call counters feeding the [`FaultPlan`]'s deterministic
+    /// per-link decision streams.
+    fault_seq: Vec<AtomicU64>,
 }
 
 impl ClientEndpoint {
@@ -356,7 +456,10 @@ impl ClientEndpoint {
     /// # Errors
     ///
     /// [`RpcError::NodeDown`] / [`RpcError::UnknownNode`] for unreachable
-    /// targets; [`RpcError::ClientKilled`] once fault injection fires.
+    /// targets; [`RpcError::ClientKilled`] once fault injection fires;
+    /// [`RpcError::Timeout`] when the deadline passes or the fault plan
+    /// loses the exchange; [`RpcError::NetTornDown`] when the node's
+    /// workers die mid-call.
     pub fn call(&self, node: NodeId, req: Request) -> Result<Reply, RpcError> {
         self.call_many(vec![(node, req)]).pop().expect("one reply")
     }
@@ -382,7 +485,7 @@ impl ClientEndpoint {
                 }
             }
         }
-        let mut delivered = self.net.deliver_batch(admitted).into_iter();
+        let mut delivered = self.net.deliver_batch(self, admitted).into_iter();
         gate.into_iter()
             .map(|g| match g {
                 Some(e) => Err(e),
@@ -423,7 +526,7 @@ impl ClientEndpoint {
         self.stats.record_send(shared_bytes);
 
         self.net
-            .deliver_batch(requests)
+            .deliver_batch(self, requests)
             .into_iter()
             .inspect(|r| {
                 if let Ok(reply) = r {
@@ -661,6 +764,203 @@ mod tests {
         })
         .unwrap();
         assert_eq!(client.stats().snapshot().round_trips as u32, 8 * ops);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::LinkFaults;
+    use ajx_storage::{StripeId, Tid};
+
+    fn faulty_net(cfg: NetworkConfig) -> Arc<Network> {
+        Network::new(NetworkConfig {
+            call_timeout: Some(Duration::from_millis(5)),
+            ..cfg
+        })
+    }
+
+    #[test]
+    fn dropped_request_times_out_then_heals() {
+        let net = faulty_net(NetworkConfig::default());
+        let client = net.client(ClientId(1));
+        net.faults().partition_requests(ClientId(1), NodeId(0));
+        let err = client
+            .call(NodeId(0), Request::Read { stripe: StripeId(0) })
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout(NodeId(0)));
+        // Other links unaffected.
+        assert!(client.call(NodeId(1), Request::Read { stripe: StripeId(0) }).is_ok());
+        net.faults().heal_partitions();
+        assert!(client.call(NodeId(0), Request::Read { stripe: StripeId(0) }).is_ok());
+    }
+
+    #[test]
+    fn dropped_reply_still_executes_the_request() {
+        // The ambiguous half of a lost exchange: the node applies the swap,
+        // the client sees only a timeout.
+        let net = faulty_net(NetworkConfig::default());
+        let client = net.client(ClientId(1));
+        net.faults().partition_replies(ClientId(1), NodeId(0));
+        let err = client
+            .call(
+                NodeId(0),
+                Request::Swap {
+                    stripe: StripeId(0),
+                    value: vec![7; 64],
+                    ntid: Tid::new(1, 0, ClientId(1)),
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout(NodeId(0)));
+        let mut applied = false;
+        for _ in 0..200 {
+            applied = net.with_node(NodeId(0), |n| {
+                n.block_state(StripeId(0)).is_some_and(|s| s.raw_block() == &[7u8; 64][..])
+            });
+            if applied {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(applied, "swap must execute even though its reply was lost");
+    }
+
+    #[test]
+    fn duplicated_request_is_delivered_twice_but_applied_once() {
+        let net = faulty_net(NetworkConfig::default());
+        let client = net.client(ClientId(1));
+        net.faults().set_tracing(true);
+        net.faults().set_link(
+            ClientId(1),
+            NodeId(0),
+            LinkFaults { dup_req: 1.0, ..LinkFaults::default() },
+        );
+        // The transport delivers the add twice (at-least-once); the node's
+        // tid dedup must apply the XOR exactly once — a second application
+        // would cancel it back to zero.
+        client
+            .call(
+                NodeId(0),
+                Request::Add {
+                    stripe: StripeId(0),
+                    delta: vec![1; 64],
+                    ntid: Tid::new(1, 0, ClientId(1)),
+                    otid: None,
+                    epoch: ajx_storage::Epoch(0),
+                    scale: None,
+                },
+            )
+            .unwrap();
+        let mut applied = false;
+        for _ in 0..200 {
+            applied = net.with_node(NodeId(0), |n| {
+                n.block_state(StripeId(0)).is_some_and(|s| s.raw_block() == &[1u8; 64][..])
+            });
+            if applied {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(applied, "the increment must land exactly once");
+        let trace = net.faults().take_trace();
+        assert!(
+            trace.iter().any(|l| l.contains("dup-req")),
+            "the duplicate must actually have been delivered: {trace:?}"
+        );
+    }
+
+    #[test]
+    fn fault_decisions_reproduce_across_identical_networks() {
+        let run = || {
+            let net = Network::new(NetworkConfig {
+                call_timeout: Some(Duration::from_micros(100)),
+                ..NetworkConfig::default()
+            });
+            net.faults().set_seed(1234);
+            net.faults().set_default_link(LinkFaults {
+                drop_req: 0.25,
+                drop_reply: 0.1,
+                ..LinkFaults::default()
+            });
+            let client = net.client(ClientId(1));
+            (0..200)
+                .map(|i| {
+                    client
+                        .call(NodeId(i % 4), Request::Read { stripe: StripeId(0) })
+                        .is_ok()
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed, same outcome pattern");
+        assert!(a.contains(&true) && a.contains(&false), "faults actually fired");
+    }
+
+    #[test]
+    fn torn_down_worker_pool_is_not_a_killed_client() {
+        // A malformed request panics the node's only worker thread; the
+        // reply channel closes without a reply. Before the fix this
+        // surfaced as `ClientKilled` — blaming a healthy caller.
+        let net = Network::new(NetworkConfig {
+            n_nodes: 1,
+            server_threads: 1,
+            call_timeout: Some(Duration::from_millis(200)),
+            ..NetworkConfig::default()
+        });
+        let client = net.client(ClientId(1));
+        let err = client
+            .call(
+                NodeId(0),
+                Request::Add {
+                    stripe: StripeId(0),
+                    delta: vec![1; 8], // wrong size for 64-byte blocks
+                    ntid: Tid::new(1, 0, ClientId(1)),
+                    otid: None,
+                    epoch: ajx_storage::Epoch(0),
+                    scale: None,
+                },
+            )
+            .unwrap_err();
+        assert!(
+            err.is_indeterminate(),
+            "worker death mid-call must be indeterminate, got {err:?}"
+        );
+        assert_ne!(err, RpcError::ClientKilled);
+        assert!(!client.is_killed(), "the caller is fine");
+
+        // Once the worker pool is gone the queue rejects sends: NodeDown.
+        let mut down = false;
+        for _ in 0..500 {
+            match client.call(NodeId(0), Request::Read { stripe: StripeId(0) }) {
+                Err(RpcError::NodeDown(_)) => {
+                    down = true;
+                    break;
+                }
+                _ => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        assert!(down, "dead worker pool must surface as NodeDown");
+
+        // Regression (stats fix): a send rejected by the dead queue must
+        // not count as sent.
+        let sent_before = net.stats().snapshot().msgs_sent;
+        assert!(matches!(
+            client.call(NodeId(0), Request::Read { stripe: StripeId(0) }),
+            Err(RpcError::NodeDown(_))
+        ));
+        assert_eq!(net.stats().snapshot().msgs_sent, sent_before);
+    }
+
+    #[test]
+    fn slowdown_delays_but_does_not_fail_calls() {
+        let net = Network::new(NetworkConfig::default());
+        net.faults()
+            .set_node_slowdown(NodeId(0), Duration::from_millis(3));
+        let client = net.client(ClientId(1));
+        let start = std::time::Instant::now();
+        assert!(client.call(NodeId(0), Request::Read { stripe: StripeId(0) }).is_ok());
+        assert!(start.elapsed() >= Duration::from_millis(3));
     }
 }
 

@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
-# Repo check entry point: release build, full workspace test suite, then the
-# GF(2^8) kernel backend matrix (per-backend test runs + BENCH_kernels.json).
+# Repo check entry point: release build, lint wall, full workspace test
+# suite, a seeded chaos smoke run, then the GF(2^8) kernel backend matrix
+# (per-backend test runs + BENCH_kernels.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo build --workspace --release =="
 cargo build --workspace --release
 
+echo "== cargo clippy --workspace -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== cargo test --workspace =="
 cargo test --workspace -q
+
+echo "== chaos smoke (seeded fault injection) =="
+cargo test -p repro-tests --test chaos_soak --release -q
 
 tools/kernel_matrix.sh --quick
