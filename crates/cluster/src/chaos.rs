@@ -65,6 +65,13 @@ pub struct ChaosOptions {
     /// repair. Successful writes park tids in recentlists until GC moves
     /// them, so this must comfortably exceed the GC cadence.
     pub stale_age: u64,
+    /// Maximum run length of one operation, in blocks. `1` keeps every
+    /// operation single-block; larger values draw a length in
+    /// `1..=max_run` per operation and issue it through the batched
+    /// multi-block path ([`ajx_core::Client::read_blocks`] /
+    /// [`write_blocks`](ajx_core::Client::write_blocks)), recording each
+    /// block individually so the regularity check still applies per block.
+    pub max_run: u64,
 }
 
 impl Default for ChaosOptions {
@@ -90,6 +97,7 @@ impl Default for ChaosOptions {
             gc_every: 4,
             monitor_every: 5,
             stale_age: 200,
+            max_run: 1,
         }
     }
 }
@@ -160,6 +168,11 @@ fn chance(state: &mut u64, p: f64) -> bool {
 /// result. See the module docs for the structure of a run; identical
 /// `(cfg, opts)` produce identical [`ChaosReport::trace`]s.
 pub fn run_chaos(cfg: ProtocolConfig, opts: &ChaosOptions) -> ChaosReport {
+    let mut cfg = cfg;
+    // Multi-block writes normally pipeline stripes over worker threads;
+    // here that would let thread scheduling reorder RPCs and break the
+    // byte-identical-trace contract, so the pool is disabled.
+    cfg.pipeline_width = 1;
     let cluster = Cluster::with_network(
         cfg.clone(),
         opts.n_clients,
@@ -226,50 +239,83 @@ pub fn run_chaos(cfg: ProtocolConfig, opts: &ChaosOptions) -> ChaosReport {
             let client = cluster.client(c);
             for _ in 0..opts.ops_per_round {
                 let lb = splitmix64(&mut rng) % opts.blocks;
+                // Run length: 1 for the classic single-block harness, or a
+                // drawn length through the batched multi-block data path.
+                let run = if opts.max_run > 1 {
+                    (1 + splitmix64(&mut rng) % opts.max_run).min(opts.blocks - lb)
+                } else {
+                    1
+                };
+                let lbs: Vec<u64> = (lb..lb + run).collect();
                 if (splitmix64(&mut rng) % 100) < u64::from(opts.read_pct) {
-                    let p = rec.invoke();
-                    match client.read_block(lb) {
-                        Ok(v) => {
+                    // Each block of the run is its own operation in the
+                    // history; a failed batched read fails them all (and
+                    // constrains nothing).
+                    let ps: Vec<_> = lbs.iter().map(|_| rec.invoke()).collect();
+                    match client.read_blocks(&lbs) {
+                        Ok(vs) => {
                             net.faults().note(format!(
-                                "op c{c} read lb{lb} t{p:?} -> {}",
-                                v.first().copied().unwrap_or(0)
+                                "op c{c} read lb{lb}+{run} -> {}",
+                                vs[0].first().copied().unwrap_or(0)
                             ));
-                            rec.complete_read(lb, client.id().0, p, nonzero(v));
-                            report.ops_ok += 1;
+                            for ((&b, p), v) in lbs.iter().zip(ps).zip(vs) {
+                                rec.complete_read(b, client.id().0, p, nonzero(v));
+                            }
+                            report.ops_ok += run;
                         }
                         Err(e) => {
                             net.faults()
-                                .note(format!("op c{c} read lb{lb} t{p:?} -> err {e}"));
-                            report.reads_failed += 1;
+                                .note(format!("op c{c} read lb{lb}+{run} -> err {e}"));
+                            report.reads_failed += run;
                         }
                     }
                 } else {
                     // Fills are 1..=255: the all-zeros block stays reserved
-                    // for "initial value" in the history.
+                    // for "initial value" in the history. Each block of the
+                    // run gets a distinct fill so the regularity check can
+                    // tell them apart.
                     let fill = (splitmix64(&mut rng) % 255) as u8 + 1;
-                    let value = vec![fill; cfg.block_size];
-                    touched.insert(lb);
-                    let p = rec.invoke();
-                    match client.write_block(lb, value.clone()) {
+                    let values: Vec<Vec<u8>> = (0..run)
+                        .map(|x| {
+                            vec![(fill.wrapping_add(x as u8)).max(1); cfg.block_size]
+                        })
+                        .collect();
+                    touched.extend(&lbs);
+                    let ps: Vec<_> = lbs.iter().map(|_| rec.invoke()).collect();
+                    let writes: Vec<(u64, &[u8])> = lbs
+                        .iter()
+                        .zip(&values)
+                        .map(|(&b, v)| (b, v.as_slice()))
+                        .collect();
+                    match client.write_blocks(&writes) {
                         Ok(()) => {
-                            net.faults()
-                                .note(format!("op c{c} write lb{lb} t{p:?} fill {fill} -> ok"));
-                            rec.complete_write(lb, client.id().0, p, value);
-                            report.ops_ok += 1;
+                            net.faults().note(format!(
+                                "op c{c} write lb{lb}+{run} fill {fill} -> ok"
+                            ));
+                            for ((&b, p), v) in lbs.iter().zip(ps).zip(values) {
+                                rec.complete_write(b, client.id().0, p, v);
+                            }
+                            report.ops_ok += run;
                         }
                         Err(e) => {
                             net.faults().note(format!(
-                                "op c{c} write lb{lb} t{p:?} fill {fill} -> indet {e}"
+                                "op c{c} write lb{lb}+{run} fill {fill} -> indet {e}"
                             ));
-                            // The swap (or some adds) may have landed.
-                            rec.complete_write_indeterminate(lb, client.id().0, p, value);
-                            report.writes_indeterminate += 1;
-                            // The writer owes the stripe a repair; try at
-                            // once, and leave the strand open if the same
-                            // faults also defeat recovery.
-                            let stripe = lb / k as u64;
-                            if client.recover_stripe(StripeId(stripe)).is_err() {
-                                stranded.insert(stripe);
+                            // Per-block atomicity means any block of the
+                            // run may or may not have landed — fold each in
+                            // as forever-concurrent (the conservative,
+                            // regularity-sound reading), and repair every
+                            // touched stripe.
+                            for ((&b, p), v) in lbs.iter().zip(ps).zip(values) {
+                                rec.complete_write_indeterminate(b, client.id().0, p, v);
+                            }
+                            report.writes_indeterminate += run;
+                            let stripes: BTreeSet<u64> =
+                                lbs.iter().map(|&b| b / k as u64).collect();
+                            for stripe in stripes {
+                                if client.recover_stripe(StripeId(stripe)).is_err() {
+                                    stranded.insert(stripe);
+                                }
                             }
                         }
                     }
@@ -432,6 +478,10 @@ mod tests {
             rounds: 6,
             ops_per_round: 4,
             blocks: 8,
+            // These tests compare traces across runs; keep the deadline
+            // well above scheduler-stall scale so load cannot turn one
+            // run's slow reply into a spurious timeout.
+            call_timeout: Duration::from_millis(30),
             ..ChaosOptions::default()
         }
     }
@@ -447,6 +497,24 @@ mod tests {
         assert_eq!(a.trace, b.trace, "same seed must replay byte-identically");
         assert_eq!(a.ops_ok, b.ops_ok);
         assert_eq!(a.nemesis_events, b.nemesis_events);
+    }
+
+    #[test]
+    fn batched_chaos_run_passes_and_reproduces() {
+        let cfg = ProtocolConfig::new(2, 4, 16).unwrap();
+        let opts = ChaosOptions {
+            max_run: 4,
+            ..quick_opts()
+        };
+        let a = run_chaos(cfg.clone(), &opts);
+        assert!(a.violations.is_empty(), "violations: {:?}", a.violations);
+        assert!(a.ops_ok > 0);
+        let b = run_chaos(cfg, &opts);
+        assert_eq!(
+            a.trace, b.trace,
+            "batched ops must not break trace determinism"
+        );
+        assert_eq!(a.ops_ok, b.ops_ok);
     }
 
     #[test]

@@ -37,6 +37,37 @@ pub enum Workload {
         /// Logical blocks per thread extent.
         extent: u64,
     },
+    /// Batched sequential writes: each thread walks its own disjoint
+    /// extent in runs of `run` blocks through one
+    /// [`Client::write_blocks`](ajx_core::Client::write_blocks) call each
+    /// (the multi-stripe coalesced/pipelined data path).
+    BatchedWrite {
+        /// Logical blocks per thread extent.
+        extent: u64,
+        /// Blocks per multi-block call.
+        run: u64,
+    },
+    /// Batched reads of `run` consecutive blocks at a uniformly random
+    /// start, through one
+    /// [`Client::read_blocks`](ajx_core::Client::read_blocks) call each.
+    BatchedRead {
+        /// Size of the logical block space.
+        blocks: u64,
+        /// Blocks per multi-block call.
+        run: u64,
+    },
+}
+
+impl Workload {
+    /// Logical blocks moved per operation (1 except for batched runs) —
+    /// the weight an `Ok` adds to the throughput counters.
+    fn blocks_per_op(&self) -> u64 {
+        match *self {
+            Workload::BatchedWrite { run, .. } => run.max(1),
+            Workload::BatchedRead { blocks, run } => run.clamp(1, blocks),
+            _ => 1,
+        }
+    }
 }
 
 /// Result of one [`drive`] run.
@@ -125,10 +156,30 @@ pub fn drive(
                                 let fill = (op_idx % 251) as u8;
                                 client.write_block(lb, vec![fill; block_size]).map(|_| ())
                             }
+                            Workload::BatchedWrite { extent, run } => {
+                                let run = run.clamp(1, extent);
+                                let base = (c * threads + t) as u64 * extent;
+                                let lb = base + (op_idx * run) % (extent - run + 1);
+                                let bufs: Vec<Vec<u8>> = (0..run)
+                                    .map(|x| vec![((op_idx + x) % 251) as u8; block_size])
+                                    .collect();
+                                let writes: Vec<(u64, &[u8])> = bufs
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(x, b)| (lb + x as u64, b.as_slice()))
+                                    .collect();
+                                client.write_blocks(&writes)
+                            }
+                            Workload::BatchedRead { blocks, run } => {
+                                let run = run.clamp(1, blocks);
+                                let lb = rng.random_range(0..=blocks - run);
+                                let lbs: Vec<u64> = (lb..lb + run).collect();
+                                client.read_blocks(&lbs).map(|_| ())
+                            }
                         };
                         match result {
                             Ok(()) => {
-                                ops.fetch_add(1, Ordering::Relaxed);
+                                ops.fetch_add(workload.blocks_per_op(), Ordering::Relaxed);
                             }
                             Err(_) => {
                                 errors.fetch_add(1, Ordering::Relaxed);
@@ -189,6 +240,21 @@ mod tests {
         assert_eq!(report.errors, 0);
         assert!(report.ops_per_sec() > 0.0);
         assert!(report.mb_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn batched_workloads_complete_and_stay_consistent() {
+        let c = small_cluster(2);
+        let w = drive(&c, 2, 10, Workload::BatchedWrite { extent: 12, run: 4 }, 11);
+        assert_eq!(w.errors, 0);
+        assert_eq!(w.ops, 2 * 2 * 10 * 4, "ops count blocks moved");
+        // 4 worker extents of 12 blocks = stripes 0..24 with k = 2.
+        for s in 0..24 {
+            assert!(c.stripe_is_consistent(StripeId(s)), "stripe {s}");
+        }
+        let r = drive(&c, 2, 10, Workload::BatchedRead { blocks: 48, run: 6 }, 12);
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.ops, 2 * 2 * 10 * 6);
     }
 
     #[test]

@@ -109,6 +109,13 @@ pub struct ProtocolConfig {
     /// Automatically remap crashed nodes through the directory service
     /// (§3.5) when an RPC finds them down.
     pub auto_remap: bool,
+    /// Maximum stripes a multi-block [`write_blocks`](crate::Client::write_blocks)
+    /// call works on concurrently (bounded scoped-thread pool). Independent
+    /// stripes share no protocol state, so pipelining them only multiplies
+    /// the outstanding-call count — the knob Fig. 9(a) sweeps. `1` disables
+    /// the pool and processes stripes in order, which the deterministic
+    /// chaos harness relies on.
+    pub pipeline_width: usize,
     /// Garbage fill byte for remapped nodes (visible in tests).
     pub remap_garbage: u8,
 }
@@ -139,6 +146,7 @@ impl ProtocolConfig {
             write_attempt_limit: 64,
             auto_remap: true,
             remap_garbage: 0xA5,
+            pipeline_width: 8,
         })
     }
 

@@ -55,6 +55,7 @@ pub mod backoff;
 mod client;
 mod config;
 mod error;
+mod pool;
 pub mod recovery;
 pub mod resilience;
 mod rpc;

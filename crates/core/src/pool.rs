@@ -1,0 +1,93 @@
+//! A small thread-local block-buffer pool for the multi-block data path.
+//!
+//! The batched read/write paths stage one buffer per (block × redundant
+//! node) for deltas and read-modify-write edges. Allocating those afresh
+//! per call would put the allocator on the per-block critical path the
+//! PR 1 kernels just got off of. Instead, buffers circulate: a `swap`
+//! reply's old block is [`give`]n back once its deltas are computed, and
+//! the next delta [`take`]s it — so in steady state a sequential writer
+//! touches the allocator only to grow the pool to its high-water mark.
+//!
+//! The pool is thread-local (no locks, no cross-thread traffic) and
+//! bounded, so a burst cannot pin memory forever. Buffers of any size are
+//! accepted; `take` reuses capacity via `clear` + `resize`, which also
+//! zero-fills — callers get the same all-zeroes contract as `vec![0; n]`.
+
+use std::cell::RefCell;
+
+/// Retained buffers per thread. Sized for one stripe's worth of staging at
+/// the widest supported codes (p ≤ k ≤ 16) plus slack; beyond this,
+/// returned buffers are simply dropped.
+const MAX_POOLED: usize = 64;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a zeroed buffer of length `len` from the pool, allocating only if
+/// the pool is empty.
+pub(crate) fn take(len: usize) -> Vec<u8> {
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        match pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0);
+                buf
+            }
+            None => vec![0u8; len],
+        }
+    })
+}
+
+/// Returns a buffer to the pool for reuse by a later [`take`].
+pub(crate) fn give(buf: Vec<u8>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_a_given_buffer_without_reallocating() {
+        // Drain whatever earlier tests left behind so the capacity check
+        // below observes our buffer, not a stale one.
+        while POOL.with(|p| !p.borrow().is_empty()) {
+            let _ = POOL.with(|p| p.borrow_mut().pop());
+        }
+        let mut buf = take(32);
+        buf.iter_mut().for_each(|b| *b = 0xFF);
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        give(buf);
+        let again = take(16);
+        assert_eq!(again.as_ptr(), ptr, "same allocation came back");
+        assert_eq!(again.capacity(), cap);
+        assert!(again.iter().all(|&b| b == 0), "reused buffer is zeroed");
+        assert_eq!(again.len(), 16);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        for _ in 0..(2 * MAX_POOLED) {
+            give(vec![0u8; 8]);
+        }
+        assert!(POOL.with(|p| p.borrow().len()) <= MAX_POOLED);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_pooled() {
+        let before = POOL.with(|p| p.borrow().len());
+        give(Vec::new());
+        assert_eq!(POOL.with(|p| p.borrow().len()), before);
+    }
+}

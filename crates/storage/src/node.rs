@@ -129,6 +129,13 @@ pub enum Request {
         /// Target stripe.
         stripe: StripeId,
     },
+    /// Several operations coalesced into one message (§3.11 batching): the
+    /// node applies them in order under a single lock acquisition and
+    /// answers with one [`Reply::Batch`] of the same length. The transport
+    /// treats the whole batch as *one* exchange — one round trip, one fault
+    /// decision — which is what makes m same-node operations cost one round
+    /// instead of m.
+    Batch(Vec<Request>),
 }
 
 impl Request {
@@ -148,6 +155,9 @@ impl Request {
             | Request::GcOld { stripe, .. }
             | Request::GcRecent { stripe, .. }
             | Request::Probe { stripe } => *stripe,
+            // A batch may span stripes; report the first operation's (used
+            // only for logging/accounting — dispatch unpacks the batch).
+            Request::Batch(reqs) => reqs.first().map_or(StripeId(0), Request::stripe),
         }
     }
 
@@ -161,7 +171,12 @@ impl Request {
     /// `reconstruct`, the GC moves), or — given re-entrant locking — a
     /// `trylock` by the same caller.
     pub fn is_idempotent(&self) -> bool {
-        !matches!(self, Request::Swap { .. } | Request::Add { .. })
+        match self {
+            Request::Swap { .. } | Request::Add { .. } => false,
+            // A batch may be re-sent only if every member may.
+            Request::Batch(reqs) => reqs.iter().all(Request::is_idempotent),
+            _ => true,
+        }
     }
 
     /// Payload bytes carried by this request (block-sized fields only),
@@ -172,6 +187,15 @@ impl Request {
             Request::Swap { value, .. } => value.len(),
             Request::Add { delta, .. } => delta.len(),
             Request::Reconstruct { block, .. } => block.len(),
+            // One shared header for the whole batch: the coalescing saves
+            // (m − 1) headers of fixed overhead on the wire.
+            Request::Batch(reqs) => {
+                return MSG_HEADER_BYTES
+                    + reqs
+                        .iter()
+                        .map(|r| r.wire_bytes() - MSG_HEADER_BYTES)
+                        .sum::<usize>()
+            }
             _ => 0,
         };
         MSG_HEADER_BYTES + payload
@@ -213,6 +237,8 @@ pub enum Reply {
     },
     /// The node rejected a scaled add because it has no code configured.
     NoCode,
+    /// Replies to a [`Request::Batch`], one per member, in request order.
+    Batch(Vec<Reply>),
 }
 
 impl Reply {
@@ -225,6 +251,14 @@ impl Reply {
                 r.block.as_ref().map_or(0, Vec::len) + 24 * (r.recentlist.len() + r.oldlist.len())
             }
             Reply::GetRecent(l) => 24 * l.len(),
+            // Mirrors `Request::Batch`: one shared header for the batch.
+            Reply::Batch(replies) => {
+                return MSG_HEADER_BYTES
+                    + replies
+                        .iter()
+                        .map(|r| r.wire_bytes() - MSG_HEADER_BYTES)
+                        .sum::<usize>()
+            }
             _ => 0,
         };
         MSG_HEADER_BYTES + payload
@@ -335,8 +369,25 @@ impl StorageNode {
         self.media_writes
     }
 
-    /// Handles one request, advancing the target stripe-block state machine.
+    /// Handles a request, advancing the target stripe-block state machine.
+    ///
+    /// A [`Request::Batch`] is unpacked here and applied member-by-member in
+    /// order; because the caller already holds the node (the transport
+    /// worker locks the node once per `handle` call), the whole batch
+    /// executes under a single lock acquisition with no interleaved foreign
+    /// requests.
     pub fn handle(&mut self, req: Request) -> Reply {
+        match req {
+            Request::Batch(reqs) => {
+                Reply::Batch(reqs.into_iter().map(|r| self.handle(r)).collect())
+            }
+            other => self.handle_one(other),
+        }
+    }
+
+    /// Applies one non-batch request. `ops_handled` counts individual
+    /// operations, so a batch of m increments it m times.
+    fn handle_one(&mut self, req: Request) -> Reply {
         self.ops_handled += 1;
         let stripe = req.stripe();
         let mutates = matches!(
@@ -409,6 +460,7 @@ impl StorageNode {
                     oldest_pending_age,
                 }
             }
+            Request::Batch(_) => unreachable!("batches are unpacked by handle()"),
         };
 
         if mutates && !matches!(reply, Reply::NoCode) {
@@ -662,6 +714,83 @@ mod tests {
             lmode: LMode::Unl,
         });
         assert_eq!(reply.wire_bytes(), MSG_HEADER_BYTES + 512);
+    }
+
+    #[test]
+    fn batch_applies_members_in_order_under_one_call() {
+        let mut node = StorageNode::new(NodeId(0), 4);
+        // swap then read of the same stripe, plus a read of another stripe,
+        // all in one message: the read must observe the swap's effect.
+        let reply = node.handle(Request::Batch(vec![
+            Request::Swap {
+                stripe: StripeId(0),
+                value: vec![7; 4],
+                ntid: tid(1),
+            },
+            Request::Read { stripe: StripeId(0) },
+            Request::Read { stripe: StripeId(3) },
+        ]));
+        let Reply::Batch(replies) = reply else {
+            panic!("expected Reply::Batch");
+        };
+        assert_eq!(replies.len(), 3);
+        assert!(matches!(&replies[0], Reply::Swap(s) if s.block == Some(vec![0; 4])));
+        assert!(matches!(&replies[1], Reply::Read(r) if r.block == Some(vec![7; 4])));
+        assert!(matches!(&replies[2], Reply::Read(r) if r.block == Some(vec![0; 4])));
+        // ops_handled counts individual operations, not messages.
+        assert_eq!(node.ops_handled(), 3);
+    }
+
+    #[test]
+    fn batch_wire_bytes_share_one_header() {
+        let members = vec![
+            Request::Swap {
+                stripe: StripeId(0),
+                value: vec![0; 100],
+                ntid: tid(1),
+            },
+            Request::Read { stripe: StripeId(0) },
+            Request::Add {
+                stripe: StripeId(1),
+                delta: vec![0; 100],
+                ntid: tid(2),
+                otid: None,
+                epoch: Epoch(0),
+                scale: None,
+            },
+        ];
+        let batched = Request::Batch(members.clone()).wire_bytes();
+        let separate: usize = members.iter().map(Request::wire_bytes).sum();
+        assert_eq!(batched, MSG_HEADER_BYTES + 200);
+        assert_eq!(separate - batched, 2 * MSG_HEADER_BYTES, "two headers saved");
+        // Reply side mirrors the request side.
+        let r = Reply::Batch(vec![
+            Reply::Read(ReadReply {
+                block: Some(vec![0; 64]),
+                lmode: LMode::Unl,
+            }),
+            Reply::Ack,
+        ]);
+        assert_eq!(r.wire_bytes(), MSG_HEADER_BYTES + 64);
+    }
+
+    #[test]
+    fn batch_idempotence_is_the_conjunction_of_members() {
+        let read = Request::Read { stripe: StripeId(0) };
+        let swap = Request::Swap {
+            stripe: StripeId(0),
+            value: vec![0; 4],
+            ntid: tid(1),
+        };
+        assert!(Request::Batch(vec![read.clone(), read.clone()]).is_idempotent());
+        assert!(!Request::Batch(vec![read.clone(), swap]).is_idempotent());
+        assert!(Request::Batch(vec![]).is_idempotent());
+        // Empty batch still has a defined stripe for accounting.
+        assert_eq!(Request::Batch(vec![]).stripe(), StripeId(0));
+        assert_eq!(
+            Request::Batch(vec![Request::Read { stripe: StripeId(9) }, read]).stripe(),
+            StripeId(9)
+        );
     }
 
     #[test]

@@ -355,6 +355,67 @@ impl Network {
         replies
     }
 
+    /// Delivers one request — the allocation-free single-call path.
+    ///
+    /// Mirrors [`Network::deliver_batch`] exactly (fate draw, delay and
+    /// lost-exchange timing, stats) for a batch of one, without building a
+    /// `Vec` per call: the hot failure-free READ path of Fig. 4 issues
+    /// millions of these.
+    fn deliver_one(&self, ep: &ClientEndpoint, node: NodeId, req: Request) -> Result<Reply, RpcError> {
+        self.sleep_latency(); // outbound propagation
+        let fate = match ep.fault_seq.get(node.0 as usize) {
+            Some(ctr) => {
+                let seq = ctr.fetch_add(1, Ordering::Relaxed);
+                self.faults.fate(ep.id, node, seq)
+            }
+            None => Fate::CLEAN,
+        };
+        let pending = if !fate.deliver_req {
+            Err(None)
+        } else {
+            if fate.duplicate_req {
+                let _ = self.submit(node, req.clone());
+            }
+            match self.submit(node, req) {
+                Ok(rx) if fate.drop_reply => {
+                    drop(rx);
+                    Err(None)
+                }
+                Ok(rx) => Ok(rx),
+                Err(e) => Err(Some(e)),
+            }
+        };
+        if !fate.delay.is_zero() {
+            std::thread::sleep(fate.delay);
+        }
+        let result = match pending {
+            Err(Some(e)) => Err(e),
+            Err(None) => {
+                // A lost exchange surfaces only after the deadline.
+                if let Some(t) = self.call_timeout {
+                    std::thread::sleep(t);
+                }
+                Err(RpcError::Timeout(node))
+            }
+            Ok(rx) => match self.call_timeout {
+                Some(t) => match rx.recv_timeout(t) {
+                    Ok(r) => r,
+                    Err(RecvTimeoutError::Timeout) => Err(RpcError::Timeout(node)),
+                    Err(RecvTimeoutError::Disconnected) => Err(RpcError::NetTornDown(node)),
+                },
+                None => match rx.recv() {
+                    Ok(r) => r,
+                    Err(_) => Err(RpcError::NetTornDown(node)),
+                },
+            },
+        };
+        self.sleep_latency(); // inbound propagation
+        if let Ok(reply) = &result {
+            self.stats.record_receive(reply.wire_bytes());
+        }
+        result
+    }
+
     fn submit(
         &self,
         node: NodeId,
@@ -461,7 +522,24 @@ impl ClientEndpoint {
     /// loses the exchange; [`RpcError::NetTornDown`] when the node's
     /// workers die mid-call.
     pub fn call(&self, node: NodeId, req: Request) -> Result<Reply, RpcError> {
-        self.call_many(vec![(node, req)]).pop().expect("one reply")
+        // Direct single-call path: same budget/NIC/stats handling as
+        // `call_many`, with no per-call `Vec` allocation.
+        self.consume_budget()?;
+        let bytes = req.wire_bytes();
+        if let Some(nic) = &self.nic {
+            nic.consume(bytes);
+        }
+        self.stats.record_send(bytes);
+        let result = self.net.deliver_one(self, node, req);
+        if let Ok(reply) = &result {
+            let bytes = reply.wire_bytes();
+            if let Some(nic) = &self.nic {
+                nic.consume(bytes);
+            }
+            self.stats.record_receive(bytes);
+            self.stats.record_round_trip();
+        }
+        result
     }
 
     /// Parallel fan-out — the paper's `pfor`: the batch is sent in one
@@ -701,6 +779,70 @@ mod tests {
         let snap = client.stats().snapshot();
         assert_eq!(snap.msgs_sent, 1, "one multicast send");
         assert_eq!(snap.msgs_received, 3, "one reply per target");
+    }
+
+    #[test]
+    fn batch_request_is_one_message_and_one_round_trip() {
+        let net = net4();
+        let client = net.client(ClientId(1));
+        let members: Vec<Request> = (0..8)
+            .map(|s| Request::Read { stripe: StripeId(s) })
+            .collect();
+        let reply = client.call(NodeId(0), Request::Batch(members)).unwrap();
+        let Reply::Batch(replies) = reply else {
+            panic!("expected Reply::Batch");
+        };
+        assert_eq!(replies.len(), 8);
+        assert!(replies.iter().all(|r| matches!(r, Reply::Read(_))));
+        let snap = client.stats().snapshot();
+        assert_eq!(snap.msgs_sent, 1, "eight operations, one message");
+        assert_eq!(snap.round_trips, 1, "eight operations, one round trip");
+        // The node counted every member.
+        net.with_node(NodeId(0), |n| assert_eq!(n.ops_handled(), 8));
+    }
+
+    #[test]
+    fn batch_executes_atomically_under_contention() {
+        // Two clients hammer the same stripe with swap+read batches; the
+        // read in each batch must always observe its own batch's swap
+        // (single lock acquisition), never the other client's interleaved
+        // write.
+        let net = Network::new(NetworkConfig {
+            n_nodes: 1,
+            server_threads: 4,
+            ..NetworkConfig::default()
+        });
+        let clients: Vec<_> = (0..2).map(|i| net.client(ClientId(i + 1))).collect();
+        crossbeam::thread::scope(|s| {
+            for (ci, c) in clients.iter().enumerate() {
+                s.spawn(move |_| {
+                    for i in 0..200u64 {
+                        let fill = ((ci as u8 + 1) * 7) ^ (i as u8);
+                        let reply = c
+                            .call(
+                                NodeId(0),
+                                Request::Batch(vec![
+                                    Request::Swap {
+                                        stripe: StripeId(0),
+                                        value: vec![fill; 64],
+                                        ntid: Tid::new(i + 1, 0, c.id()),
+                                    },
+                                    Request::Read { stripe: StripeId(0) },
+                                ]),
+                            )
+                            .unwrap();
+                        let Reply::Batch(rs) = reply else { panic!() };
+                        let Reply::Read(r) = &rs[1] else { panic!() };
+                        assert_eq!(
+                            r.block.as_deref(),
+                            Some(&vec![fill; 64][..]),
+                            "a foreign request interleaved inside the batch"
+                        );
+                    }
+                });
+            }
+        })
+        .unwrap();
     }
 
     #[test]
@@ -950,6 +1092,43 @@ mod fault_tests {
             Err(RpcError::NodeDown(_))
         ));
         assert_eq!(net.stats().snapshot().msgs_sent, sent_before);
+    }
+
+    #[test]
+    fn batch_shares_one_fate_decision() {
+        // drop_req = 0.5: over 40 batched calls some exchanges are lost and
+        // some survive — but each batch lives or dies as a unit. A lost
+        // batch times out whole; a delivered batch answers every member.
+        let net = faulty_net(NetworkConfig::default());
+        net.faults().set_seed(99);
+        net.faults().set_link(
+            ClientId(1),
+            NodeId(0),
+            LinkFaults { drop_req: 0.5, ..LinkFaults::default() },
+        );
+        let client = net.client(ClientId(1));
+        let (mut lost, mut whole) = (0u32, 0u32);
+        for s in 0..40 {
+            let members: Vec<Request> = (0..4)
+                .map(|j| Request::Read { stripe: StripeId(s * 4 + j) })
+                .collect();
+            match client.call(NodeId(0), Request::Batch(members)) {
+                Err(RpcError::Timeout(_)) => lost += 1,
+                Ok(Reply::Batch(rs)) => {
+                    assert_eq!(rs.len(), 4, "a delivered batch answers all members");
+                    whole += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(lost > 0 && whole > 0, "lost {lost}, whole {whole}");
+        // One fate consumed per batch, not per member: the per-link fault
+        // sequence advanced once per call.
+        assert_eq!(
+            client.fault_seq[0].load(Ordering::Relaxed),
+            40,
+            "one fault decision per batched exchange"
+        );
     }
 
     #[test]

@@ -63,6 +63,10 @@ fn identical_seeds_replay_byte_identical_traces() {
         rounds: 15,
         ops_per_round: 5,
         blocks: 10,
+        // Trace equality is compared across two runs: a deadline that a
+        // loaded scheduler can overshoot would turn a stall into a spurious
+        // timeout in one run only. Keep it well above stall scale.
+        call_timeout: Duration::from_millis(30),
         ..ChaosOptions::default()
     };
     let a = run_chaos(cfg.clone(), &opts);

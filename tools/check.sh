@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Repo check entry point: release build, lint wall, full workspace test
-# suite, a seeded chaos smoke run, then the GF(2^8) kernel backend matrix
-# (per-backend test runs + BENCH_kernels.json).
+# suite, a seeded chaos smoke run, the GF(2^8) kernel backend matrix
+# (per-backend test runs + BENCH_kernels.json), and the batched data-path
+# throughput smoke (BENCH_datapath.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,3 +19,8 @@ echo "== chaos smoke (seeded fault injection) =="
 cargo test -p repro-tests --test chaos_soak --release -q
 
 tools/kernel_matrix.sh --quick
+
+echo "== batched data path (ext_seq_throughput --smoke) =="
+cargo run --release -p ajx-bench --bin ext_seq_throughput -- --smoke \
+  > BENCH_datapath.json
+cat BENCH_datapath.json
