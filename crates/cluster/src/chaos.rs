@@ -171,8 +171,10 @@ pub fn run_chaos(cfg: ProtocolConfig, opts: &ChaosOptions) -> ChaosReport {
     let mut cfg = cfg;
     // Multi-block writes normally pipeline stripes over worker threads;
     // here that would let thread scheduling reorder RPCs and break the
-    // byte-identical-trace contract, so the pool is disabled.
+    // byte-identical-trace contract, so the pool is disabled. The rebuild
+    // engine's chunk pool is serialized for the same reason.
     cfg.pipeline_width = 1;
+    cfg.rebuild_width = 1;
     let cluster = Cluster::with_network(
         cfg.clone(),
         opts.n_clients,
@@ -218,6 +220,46 @@ pub fn run_chaos(cfg: ProtocolConfig, opts: &ChaosOptions) -> ChaosReport {
                 apply_nemesis(&cluster, ev, &mut rng, &mut wounded, &stranded, n, k);
             if applied {
                 report.nemesis_events += 1;
+            }
+            // A Remap draw is the repair crew arriving. With `auto_remap`
+            // on (the default), client traffic usually remaps a crashed
+            // node before the nemesis does — the node is up but INIT for
+            // every stripe it held — so the draw itself rarely "applies";
+            // what matters is whether wiped nodes are outstanding. Drive
+            // the batched rebuild engine over the touched stripes — the
+            // same thing a real deployment runs after a disk replacement
+            // — rotating the rebuilding client like the repair duty
+            // below. Failures are tolerated here (the monitor sweep and
+            // epilogue still heal), but the attempt itself is part of the
+            // deterministic trace.
+            if ev == NemesisEvent::Remap
+                && (applied || !wounded.is_empty())
+                && !touched.is_empty()
+            {
+                let stripes: Vec<StripeId> = touched
+                    .iter()
+                    .map(|&lb| StripeId(lb / k as u64))
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                let rebuilder =
+                    cluster.client((round % cluster.n_clients() as u64) as usize);
+                match rebuilder.rebuild_stripes(&stripes) {
+                    Ok(r) => {
+                        net.faults().note(format!(
+                            "nemesis rebuild: {} stripes, {} rebuilt, {} recovered, {} skipped",
+                            r.stripes, r.rebuilt, r.recovered, r.skipped
+                        ));
+                        // Every touched stripe verified or repaired: the
+                        // failure budget is whole again (same contract as
+                        // a successful monitor sweep).
+                        wounded.clear();
+                        stranded.clear();
+                    }
+                    Err(e) => {
+                        net.faults().note(format!("nemesis rebuild -> err {e}"));
+                    }
+                }
             }
         }
 

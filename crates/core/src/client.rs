@@ -8,6 +8,7 @@
 
 use crate::config::{ProtocolConfig, UpdateStrategy};
 use crate::error::ProtocolError;
+use crate::rebuild::RebuildReport;
 use crate::recovery::{recover, RecoveryOutcome};
 use crate::rpc::{call, call_many, expect_reply};
 use ajx_storage::{
@@ -148,21 +149,100 @@ impl Client {
         let node = self.node_of(stripe, i);
         let mut backoff = self.backoff(stripe, 1);
         for _ in 0..=self.cfg.busy_retry_limit {
-            let reply = call(&self.endpoint, &self.cfg, node, Request::Read { stripe })?;
+            let reply = match call(&self.endpoint, &self.cfg, node, Request::Read { stripe }) {
+                Ok(reply) => reply,
+                // The data node is unreachable (and, without auto-remap, is
+                // staying that way): try to serve the read from the peers
+                // before giving up.
+                Err(e @ ProtocolError::Rpc(_)) => {
+                    if let Some(v) = self.try_degraded_read(stripe, i)? {
+                        return Ok(v);
+                    }
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+            };
             let r = expect_reply!(reply, Reply::Read);
             match r.block {
                 Some(v) => return Ok(v),
-                None => {
-                    if r.lmode.allows_recovery_start() {
-                        self.recover_stripe(stripe)?;
-                    } else {
-                        backoff.pause(); // recovery in progress elsewhere
+                None if r.lmode.allows_recovery_start() => {
+                    // The data node lost its block (INIT after a remap).
+                    // Fast path (DESIGN.md §8): decode it from the other
+                    // n − 1 nodes with no locks and no recovery — 2 round
+                    // trips total instead of a recovery's ~5 rounds of
+                    // stripe-wide locking and rewriting. The stripe stays
+                    // degraded until the rebuild engine (or any explicit
+                    // recovery) repairs it.
+                    if let Some(v) = self.try_degraded_read(stripe, i)? {
+                        return Ok(v);
+                    }
+                    // Ambiguous tid bookkeeping (writes draining) or too
+                    // few reachable peers: settle it under locks.
+                    if let Some(v) = self.recover_for_read(stripe, i)? {
+                        return Ok(v);
+                    }
+                }
+                None => backoff.pause(), // recovery in progress elsewhere
+            }
+        }
+        Err(ProtocolError::RetriesExhausted {
+            what: "READ",
+            attempts: self.cfg.busy_retry_limit + 1,
+        })
+    }
+
+    /// One attempt at the lock-free degraded read, honoring the
+    /// `degraded_reads` config switch. `Ok(None)` means "fall back".
+    fn try_degraded_read(
+        &self,
+        stripe: StripeId,
+        i: usize,
+    ) -> Result<Option<Vec<u8>>, ProtocolError> {
+        if !self.cfg.degraded_reads {
+            return Ok(None);
+        }
+        crate::recovery::degraded_read(&self.endpoint, &self.cfg, stripe, i)
+    }
+
+    /// Recovery on behalf of a blocked `READ` of `(stripe, i)`: like
+    /// [`Client::recover_stripe`], but after losing the recovery race the
+    /// client re-probes *the data node it wants* once — if the race winner
+    /// has finished, the block comes back in that same round trip, instead
+    /// of paying a generic probe plus a fresh full `READ` round.
+    ///
+    /// `Ok(Some(v))` is the block; `Ok(None)` means this client completed
+    /// the recovery itself and the caller should re-issue its `READ`.
+    fn recover_for_read(
+        &self,
+        stripe: StripeId,
+        i: usize,
+    ) -> Result<Option<Vec<u8>>, ProtocolError> {
+        let node = self.node_of(stripe, i);
+        let mut backoff = self.backoff(stripe, 4);
+        for _ in 0..=self.cfg.busy_retry_limit {
+            match recover(&self.endpoint, &self.cfg, self.id(), stripe)? {
+                RecoveryOutcome::Completed => return Ok(None),
+                RecoveryOutcome::LostRace => {
+                    backoff.pause();
+                    match call(&self.endpoint, &self.cfg, node, Request::Read { stripe }) {
+                        Ok(reply) => {
+                            let r = expect_reply!(reply, Reply::Read);
+                            if let Some(v) = r.block {
+                                return Ok(Some(v));
+                            }
+                            // Still locked or INIT: the winner has not
+                            // finished; contend for recovery again.
+                        }
+                        // The data node is unreachable; recovery can still
+                        // finish without it, so keep contending.
+                        Err(ProtocolError::Rpc(_)) => {}
+                        Err(e) => return Err(e),
                     }
                 }
             }
         }
         Err(ProtocolError::RetriesExhausted {
-            what: "READ",
+            what: "recovery",
             attempts: self.cfg.busy_retry_limit + 1,
         })
     }
@@ -1006,6 +1086,45 @@ impl Client {
         })
     }
 
+    /// Rebuilds the given stripes with the batched engine (see
+    /// [`crate::RebuildReport`]): chunks of stripes are repaired with one
+    /// batched lock / state / reconstruct / finalize round per storage
+    /// node, decode plans come from the config's shared cache, and up to
+    /// `cfg.rebuild_width` chunks run concurrently. Healthy stripes are
+    /// probed first and skipped; anything the batched fast path cannot
+    /// settle falls back to serial Fig. 6 recovery.
+    ///
+    /// # Errors
+    ///
+    /// The first error from a chunk, after every chunk has run — stripes
+    /// in other chunks are still repaired.
+    pub fn rebuild_stripes(&self, stripes: &[StripeId]) -> Result<RebuildReport, ProtocolError> {
+        crate::rebuild::rebuild_stripes(self, stripes)
+    }
+
+    /// Rebuilds every stripe that lost a block to `node` failing: remaps
+    /// the node (fresh INIT replacement) if it is still down, then runs
+    /// [`Client::rebuild_stripes`] over stripes `0..stripe_count`. With as
+    /// many storage nodes as in-stripe indices (the §3.11 rotated layout),
+    /// every stripe had a block on the failed node, so the whole range is
+    /// examined; stripes already repaired are probed and skipped cheaply.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::rebuild_stripes`].
+    pub fn rebuild_node(
+        &self,
+        node: NodeId,
+        stripe_count: u64,
+    ) -> Result<RebuildReport, ProtocolError> {
+        let network = self.endpoint.network();
+        if !network.node_is_up(node) {
+            network.remap_node(node, self.cfg.remap_garbage);
+        }
+        let stripes: Vec<StripeId> = (0..stripe_count).map(StripeId).collect();
+        self.rebuild_stripes(&stripes)
+    }
+
     /// Checks whether the recovery we lost the race to has finished and
     /// released the stripe.
     ///
@@ -1247,9 +1366,12 @@ mod tests {
             6,
             "an aborted cycle must restore every in-flight tid"
         );
-        // Replace the node and repair the affected stripes; the preserved
-        // backlog then drains to zero over the usual two-phase cycles.
+        // Replace the node and repair the affected stripe (reads alone no
+        // longer repair anything — the degraded path serves them lock-free
+        // and leaves repair to recovery/rebuild); the preserved backlog
+        // then drains to zero over the usual two-phase cycles.
         net.remap_node(victim, 0xA5);
+        c.recover_stripe(StripeId(0)).unwrap();
         c.read_block(0).unwrap();
         c.read_block(1).unwrap();
         while c.gc_backlog() > 0 {

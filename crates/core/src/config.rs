@@ -2,7 +2,7 @@
 
 use crate::backoff::BackoffPolicy;
 use crate::resilience;
-use ajx_erasure::{CodeError, ReedSolomon, StripeLayout};
+use ajx_erasure::{CodeError, PlanCache, ReedSolomon, StripeLayout};
 use std::sync::Arc;
 
 /// How a `WRITE` updates the redundant blocks (Fig. 1's AJX-ser / AJX-par /
@@ -116,6 +116,22 @@ pub struct ProtocolConfig {
     /// the pool and processes stripes in order, which the deterministic
     /// chaos harness relies on.
     pub pipeline_width: usize,
+    /// Maximum stripe-chunks a [`rebuild_stripes`](crate::Client::rebuild_stripes)
+    /// call works on concurrently (bounded scoped-thread pool, like
+    /// `pipeline_width` for writes). `1` disables the pool and rebuilds
+    /// chunks in order, which the deterministic chaos harness relies on.
+    pub rebuild_width: usize,
+    /// Serve a `READ` whose data node is unavailable by decoding the block
+    /// client-side from the other `n − 1` nodes' `get_state` replies — no
+    /// locks taken, no recovery triggered — whenever the tid bookkeeping
+    /// is unambiguous (DESIGN.md §8). When off, every such read goes
+    /// through Fig. 6 recovery (the original behaviour, kept for
+    /// benchmarks and differential tests).
+    pub degraded_reads: bool,
+    /// Shared memo of decode plans keyed by surviving-index set, so the
+    /// k×k inversion runs once per erasure pattern rather than once per
+    /// stripe. Clones of this config share the cache.
+    pub plan_cache: Arc<PlanCache>,
     /// Garbage fill byte for remapped nodes (visible in tests).
     pub remap_garbage: u8,
 }
@@ -147,6 +163,9 @@ impl ProtocolConfig {
             auto_remap: true,
             remap_garbage: 0xA5,
             pipeline_width: 8,
+            rebuild_width: 8,
+            degraded_reads: true,
+            plan_cache: Arc::new(PlanCache::new()),
         })
     }
 

@@ -17,7 +17,10 @@
 //! * [`ProtocolConfig`] / [`UpdateStrategy`] — configuration, including the
 //!   serial / parallel / hybrid / broadcast redundant-update schemes
 //!   (Fig. 1's AJX-ser / AJX-par / AJX-bcast).
-//! * [`recovery`] — Fig. 6's three-phase recovery and `find_consistent`.
+//! * [`recovery`] — Fig. 6's three-phase recovery, `find_consistent`, and
+//!   the lock-free degraded read (DESIGN.md §8).
+//! * [`RebuildReport`] / [`Client::rebuild_node`] — the batched, bounded-
+//!   concurrency stripe-rebuild engine for bulk repair after a node loss.
 //! * [`resilience`] — the §4 theorems relating redundancy `n − k` to the
 //!   tolerated client (`t_p`) and storage (`t_d`) crash counts.
 //!
@@ -56,6 +59,7 @@ mod client;
 mod config;
 mod error;
 mod pool;
+mod rebuild;
 pub mod recovery;
 pub mod resilience;
 mod rpc;
@@ -64,4 +68,5 @@ pub use backoff::{BackoffPolicy, BackoffSession, Jitter};
 pub use client::{Client, GcReport, MonitorReport};
 pub use config::{ProtocolConfig, UpdateStrategy};
 pub use error::ProtocolError;
+pub use rebuild::RebuildReport;
 pub use recovery::{find_consistent, RecoveryOutcome};

@@ -1,0 +1,426 @@
+//! The parallel stripe-rebuild engine: bulk recovery after a node failure.
+//!
+//! Fig. 6 recovery repairs one stripe at a time with ~5 serial rounds of
+//! per-node RPCs — correct, but painfully slow for the common bulk case: a
+//! storage node died, it was remapped to a fresh INIT replacement, and now
+//! *every* stripe needs its block on that node reconstructed while the
+//! rest of the stripe sits quietly in `NORM`. This module batches that
+//! case aggressively:
+//!
+//! * stripes are processed in chunks of [`REBUILD_CHUNK`], and up to
+//!   `cfg.rebuild_width` chunks run concurrently on a scoped thread pool
+//!   (same shape as the client's write pipelining);
+//! * within a chunk, each protocol round (probe, `TryLock`, `GetState`,
+//!   `Reconstruct`, `Finalize`) sends **one batched message per storage
+//!   node** covering every stripe in the chunk — per-stripe round trips
+//!   collapse to per-node round trips;
+//! * decode plans come from the config's shared [`ajx_erasure::PlanCache`]
+//!   (the Vandermonde inversion for "everyone but node X" happens once,
+//!   not once per stripe) and all scratch goes through the thread-local
+//!   buffer pool.
+//!
+//! The fast path only handles the unambiguous case. Because all `n` locks
+//! are taken at `L1` before states are read, no swap or add can land in
+//! between — the states are frozen, which is why (unlike Fig. 6, which
+//! weakens locks to `L0` to drain writers) no `GetRecent` re-check is
+//! needed before reconstructing. Anything harder — a lost lock race, an
+//! adopted crashed recovery (`RECONS`), writes still draining (fewer than
+//! `k + slack` consistent blocks), transport trouble — is handed to the
+//! serial Fig. 6 fallback, whose re-entrant `trylock` takes over whatever
+//! locks the fast path still holds.
+
+use crate::client::Client;
+use crate::error::ProtocolError;
+use crate::rpc::{call_many, expect_reply};
+use ajx_storage::{Epoch, GetStateReply, LMode, NodeId, OpMode, Reply, Request, StripeId};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Stripes per batched round: bounds peak memory (a chunk keeps up to
+/// `REBUILD_CHUNK × n` blocks alive in its reconstruct round) while
+/// amortizing the per-message framing well.
+const REBUILD_CHUNK: usize = 32;
+
+/// What a [`Client::rebuild_stripes`] call accomplished.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildReport {
+    /// Stripes examined.
+    pub stripes: usize,
+    /// Stripes probed healthy and skipped without locking anything.
+    pub skipped: usize,
+    /// Stripes repaired by the batched fast path.
+    pub rebuilt: usize,
+    /// Stripes handed to serial Fig. 6 recovery (lost lock races, adopted
+    /// crashed recoveries, draining writes, transport trouble).
+    pub recovered: usize,
+}
+
+impl RebuildReport {
+    fn absorb(&mut self, other: RebuildReport) {
+        self.stripes += other.stripes;
+        self.skipped += other.skipped;
+        self.rebuilt += other.rebuilt;
+        self.recovered += other.recovered;
+    }
+}
+
+/// Entry point behind [`Client::rebuild_stripes`].
+pub(crate) fn rebuild_stripes(
+    client: &Client,
+    stripes: &[StripeId],
+) -> Result<RebuildReport, ProtocolError> {
+    let chunks: Vec<&[StripeId]> = stripes.chunks(REBUILD_CHUNK).collect();
+    let width = client.config().rebuild_width.max(1).min(chunks.len());
+    if width <= 1 {
+        let mut report = RebuildReport::default();
+        let mut first_err: Option<ProtocolError> = None;
+        for chunk in &chunks {
+            match rebuild_chunk(client, chunk) {
+                Ok(r) => report.absorb(r),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        return match first_err {
+            Some(e) => Err(e),
+            None => Ok(report),
+        };
+    }
+    let next = AtomicUsize::new(0);
+    let report: Mutex<RebuildReport> = Mutex::new(RebuildReport::default());
+    let first_err: Mutex<Option<ProtocolError>> = Mutex::new(None);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..width {
+            scope.spawn(|_| loop {
+                let w = next.fetch_add(1, Ordering::Relaxed);
+                let Some(chunk) = chunks.get(w) else { break };
+                match rebuild_chunk(client, chunk) {
+                    Ok(r) => report.lock().absorb(r),
+                    Err(e) => {
+                        let mut slot = first_err.lock();
+                        slot.get_or_insert(e);
+                    }
+                }
+            });
+        }
+    })
+    .expect("rebuild worker panicked");
+    match first_err.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(report.into_inner()),
+    }
+}
+
+/// Repairs one chunk of stripes with batched per-node rounds.
+fn rebuild_chunk(client: &Client, chunk: &[StripeId]) -> Result<RebuildReport, ProtocolError> {
+    let cfg = client.config();
+    let endpoint = client.endpoint();
+    let caller = client.id();
+    let n = cfg.n();
+    let k = cfg.k();
+    let node_of = |s: StripeId, t: usize| NodeId(cfg.layout.node_for(s.0, t) as u32);
+    let mut report = RebuildReport {
+        stripes: chunk.len(),
+        ..RebuildReport::default()
+    };
+    let mut fallback: BTreeSet<usize> = BTreeSet::new();
+
+    // ---- Probe round: find the stripes that actually need work. --------
+    // One batched Probe per storage node; a stripe is healthy only if all
+    // n of its blocks report NORM and unlocked.
+    let mut needs = vec![false; chunk.len()];
+    {
+        let pairs: Vec<(usize, usize)> = (0..chunk.len())
+            .flat_map(|x| (0..n).map(move |t| (x, t)))
+            .collect();
+        let groups = group_by_node(chunk, pairs, node_of);
+        let calls = batched_calls(&groups, |&(x, _)| Request::Probe { stripe: chunk[x] });
+        for ((_, xs), res) in groups.iter().zip(call_many(endpoint, cfg, calls)) {
+            match res {
+                Ok(reply) => {
+                    for (&(x, _), sub) in xs.iter().zip(unbatch(reply, xs.len())?) {
+                        match sub {
+                            Reply::Probe { opmode, lmode, .. } => {
+                                if opmode != OpMode::Norm || lmode != LMode::Unl {
+                                    needs[x] = true;
+                                }
+                            }
+                            other => {
+                                return Err(ProtocolError::unexpected("Reply::Probe", &other))
+                            }
+                        }
+                    }
+                }
+                // An unreachable node marks all its stripes for rebuild —
+                // with auto-remap the retry already replaced it with an
+                // INIT node, without it the fallback recovery will decide.
+                Err(_) => xs.iter().for_each(|&(x, _)| needs[x] = true),
+            }
+        }
+    }
+    report.skipped = needs.iter().filter(|&&b| !b).count();
+    let mut live: Vec<usize> = (0..chunk.len()).filter(|&x| needs[x]).collect();
+
+    // ---- Phase 1: batched TryLock L1, strictly in index order. ----------
+    // Index order across stripes' blocks is what keeps concurrent
+    // recoveries deadlock-free (Fig. 6); batching per node *within* one
+    // index round preserves it, since every live stripe's t-th lock is
+    // acquired before any (t+1)-th is attempted.
+    let mut acquired: Vec<Vec<(usize, LMode)>> = vec![Vec::new(); chunk.len()];
+    for t in 0..n {
+        if live.is_empty() {
+            break;
+        }
+        let groups = group_by_node(chunk, live.iter().map(|&x| (x, t)).collect(), node_of);
+        let calls = batched_calls(&groups, |&(x, _)| Request::TryLock {
+            stripe: chunk[x],
+            lm: LMode::L1,
+            caller,
+        });
+        let mut dropped: BTreeSet<usize> = BTreeSet::new();
+        let mut lost: Vec<usize> = Vec::new();
+        for ((_, xs), res) in groups.iter().zip(call_many(endpoint, cfg, calls)) {
+            match res {
+                Ok(reply) => {
+                    for (&(x, _), sub) in xs.iter().zip(unbatch(reply, xs.len())?) {
+                        let r = expect_reply!(sub, Reply::TryLock);
+                        if r.ok {
+                            acquired[x].push((t, r.old_lmode));
+                        } else {
+                            lost.push(x);
+                        }
+                    }
+                }
+                // Transport trouble: keep whatever locks these stripes
+                // hold (trylock is re-entrant for the holder, so the
+                // fallback recovery walks right over them) and bail out of
+                // the fast path for them.
+                Err(_) => dropped.extend(xs.iter().map(|&(x, _)| x)),
+            }
+        }
+        // Lost races release what they took, restoring the previous lock
+        // modes (Fig. 6 line 5) — batched per node, best-effort: the race
+        // winner's finalize or our own fallback supersedes a lost restore.
+        if !lost.is_empty() {
+            let mut rel: BTreeMap<NodeId, Vec<Request>> = BTreeMap::new();
+            for &x in &lost {
+                for &(l, old) in &acquired[x] {
+                    rel.entry(node_of(chunk[x], l))
+                        .or_default()
+                        .push(Request::SetLock {
+                            stripe: chunk[x],
+                            lm: old,
+                            caller,
+                        });
+                }
+                acquired[x].clear();
+            }
+            let rels: Vec<(NodeId, Request)> =
+                rel.into_iter().map(|(node, reqs)| (node, batch(reqs))).collect();
+            let _ = call_many(endpoint, cfg, rels);
+            dropped.extend(lost);
+        }
+        if !dropped.is_empty() {
+            live.retain(|x| !dropped.contains(x));
+            fallback.extend(dropped);
+        }
+    }
+
+    // ---- Phase 2: one batched GetState per node across all stripes. -----
+    let mut states: Vec<Vec<Option<GetStateReply>>> = vec![vec![]; chunk.len()];
+    for &x in &live {
+        states[x] = (0..n).map(|_| None).collect();
+    }
+    if !live.is_empty() {
+        let pairs: Vec<(usize, usize)> = live
+            .iter()
+            .flat_map(|&x| (0..n).map(move |t| (x, t)))
+            .collect();
+        let groups = group_by_node(chunk, pairs, node_of);
+        let calls = batched_calls(&groups, |&(x, _)| Request::GetState { stripe: chunk[x] });
+        let mut dropped: BTreeSet<usize> = BTreeSet::new();
+        for ((_, xs), res) in groups.iter().zip(call_many(endpoint, cfg, calls)) {
+            match res {
+                Ok(reply) => {
+                    for (&(x, t), sub) in xs.iter().zip(unbatch(reply, xs.len())?) {
+                        states[x][t] = Some(expect_reply!(sub, Reply::GetState));
+                    }
+                }
+                Err(_) => dropped.extend(xs.iter().map(|&(x, _)| x)),
+            }
+        }
+        if !dropped.is_empty() {
+            live.retain(|x| !dropped.contains(x));
+            fallback.extend(dropped);
+        }
+    }
+
+    // ---- Classify: fast path only for the unambiguous, frozen case. -----
+    // All n blocks are held at L1, so no swap or add can have landed since
+    // the states were read — no GetRecent re-check is needed (recovery
+    // needs one only because it weakens locks to L0 to drain writers; the
+    // fast path never weakens). A RECONS node (adopted crashed recovery)
+    // or fewer than k + slack consistent blocks (writes mid-drain) go to
+    // the serial fallback, which drains and adopts correctly.
+    let mut jobs: Vec<(usize, Vec<usize>, Vec<Vec<u8>>)> = Vec::new();
+    for &x in &live {
+        let mut sts: Vec<GetStateReply> = states[x]
+            .iter_mut()
+            .map(|s| s.take().expect("live stripes have all n states"))
+            .collect();
+        if sts.iter().any(|s| s.opmode == OpMode::Recons) {
+            fallback.insert(x);
+            continue;
+        }
+        let init_count = sts.iter().filter(|s| s.opmode == OpMode::Init).count();
+        let slack = (cfg.t_d as i64 - init_count as i64).max(0) as usize;
+        let cset = crate::recovery::find_consistent(&sts, k);
+        if cset.len() < k + slack {
+            fallback.insert(x);
+            continue;
+        }
+        let key: Vec<usize> = cset.iter().take(k).copied().collect();
+        match crate::recovery::reconstruct_blocks(cfg, &key, &mut sts) {
+            Ok(blocks) => jobs.push((x, cset, blocks)),
+            // Malformed node replies (ragged blocks) — cannot happen with
+            // well-behaved nodes, but the fallback handles it regardless.
+            Err(_) => {
+                fallback.insert(x);
+            }
+        }
+    }
+
+    // ---- Phase 3: batched Reconstruct, then batched Finalize. -----------
+    // Once a stripe's reconstructs are dispatched its locks must survive
+    // errors (see recovery.rs): a failed round sends the stripe to the
+    // fallback *without* unlocking, and the fallback's recovery adopts the
+    // saved RECONS set.
+    let fast: Vec<usize> = jobs.iter().map(|&(x, _, _)| x).collect();
+    let mut epochs: BTreeMap<usize, Epoch> = BTreeMap::new();
+    let mut alive: BTreeSet<usize> = fast.iter().copied().collect();
+    {
+        let mut by_node: BTreeMap<NodeId, Vec<(usize, Request)>> = BTreeMap::new();
+        for (x, cset, blocks) in jobs {
+            for (t, block) in blocks.into_iter().enumerate() {
+                by_node.entry(node_of(chunk[x], t)).or_default().push((
+                    x,
+                    Request::Reconstruct {
+                        stripe: chunk[x],
+                        cset: cset.clone(),
+                        block,
+                    },
+                ));
+            }
+        }
+        let mut calls: Vec<(NodeId, Request)> = Vec::with_capacity(by_node.len());
+        let mut xs_per_call: Vec<Vec<usize>> = Vec::with_capacity(by_node.len());
+        for (node, xs_reqs) in by_node {
+            let (xs, reqs): (Vec<usize>, Vec<Request>) = xs_reqs.into_iter().unzip();
+            calls.push((node, batch(reqs)));
+            xs_per_call.push(xs);
+        }
+        for (xs, res) in xs_per_call.iter().zip(call_many(endpoint, cfg, calls)) {
+            match res {
+                Ok(reply) => {
+                    for (&x, sub) in xs.iter().zip(unbatch(reply, xs.len())?) {
+                        let ep = expect_reply!(sub, Reply::Reconstruct);
+                        let slot = epochs.entry(x).or_insert(Epoch(0));
+                        *slot = (*slot).max(ep);
+                    }
+                }
+                Err(_) => {
+                    for &x in xs {
+                        alive.remove(&x);
+                    }
+                }
+            }
+        }
+    }
+    {
+        let finalizable: Vec<(usize, usize)> = alive
+            .iter()
+            .flat_map(|&x| (0..n).map(move |t| (x, t)))
+            .collect();
+        let groups = group_by_node(chunk, finalizable, node_of);
+        let calls = batched_calls(&groups, |&(x, _)| Request::Finalize {
+            stripe: chunk[x],
+            epoch: epochs[&x].next(),
+        });
+        for ((_, xs), res) in groups.iter().zip(call_many(endpoint, cfg, calls)) {
+            match res {
+                Ok(reply) => {
+                    for sub in unbatch(reply, xs.len())? {
+                        if !matches!(sub, Reply::Ack) {
+                            return Err(ProtocolError::unexpected("Reply::Ack", &sub));
+                        }
+                    }
+                }
+                Err(_) => {
+                    for &(x, _) in xs {
+                        alive.remove(&x);
+                    }
+                }
+            }
+        }
+    }
+    report.rebuilt = alive.len();
+    fallback.extend(fast.into_iter().filter(|x| !alive.contains(x)));
+
+    // ---- Serial fallback: full Fig. 6 recovery, one stripe at a time. ---
+    let mut first_err: Option<ProtocolError> = None;
+    for &x in &fallback {
+        match client.recover_stripe(chunk[x]) {
+            Ok(()) => report.recovered += 1,
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
+}
+
+/// Groups per-stripe work items `(chunk index, in-stripe index)` by the
+/// storage node that owns them, deterministically (BTreeMap order).
+fn group_by_node(
+    chunk: &[StripeId],
+    pairs: Vec<(usize, usize)>,
+    node_of: impl Fn(StripeId, usize) -> NodeId,
+) -> Vec<(NodeId, Vec<(usize, usize)>)> {
+    let mut by_node: BTreeMap<NodeId, Vec<(usize, usize)>> = BTreeMap::new();
+    for (x, t) in pairs {
+        by_node.entry(node_of(chunk[x], t)).or_default().push((x, t));
+    }
+    by_node.into_iter().collect()
+}
+
+/// Builds one request per node group, batching multi-request groups.
+fn batched_calls(
+    groups: &[(NodeId, Vec<(usize, usize)>)],
+    mut req: impl FnMut(&(usize, usize)) -> Request,
+) -> Vec<(NodeId, Request)> {
+    groups
+        .iter()
+        .map(|(node, xs)| (*node, batch(xs.iter().map(&mut req).collect())))
+        .collect()
+}
+
+/// Collapses a singleton into a bare request (no batch framing on the wire).
+fn batch(mut reqs: Vec<Request>) -> Request {
+    if reqs.len() == 1 {
+        reqs.pop().expect("len checked")
+    } else {
+        Request::Batch(reqs)
+    }
+}
+
+/// Splits a reply back into per-member replies, mirroring [`batch`].
+fn unbatch(reply: Reply, members: usize) -> Result<Vec<Reply>, ProtocolError> {
+    if members == 1 {
+        return Ok(vec![reply]);
+    }
+    match reply {
+        Reply::Batch(rs) if rs.len() == members => Ok(rs),
+        other => Err(ProtocolError::unexpected("Reply::Batch", &other)),
+    }
+}

@@ -12,6 +12,7 @@
 use crate::config::ProtocolConfig;
 use crate::error::ProtocolError;
 use crate::rpc::{call, call_many, expect_reply};
+use ajx_erasure::CodeError;
 use ajx_storage::{
     ClientId, Epoch, GetStateReply, LMode, NodeId, OpMode, Reply, Request, StripeId, Tid,
 };
@@ -311,20 +312,8 @@ fn recover_inner(
     }
 
     // ---- Phase 3: decode, rewrite, advance epoch, unlock. ----
-    let shares: Vec<(usize, &[u8])> = cset
-        .iter()
-        .take(k)
-        .map(|&t| {
-            (
-                t,
-                states[t]
-                    .block
-                    .as_deref()
-                    .expect("consistent members carry content"),
-            )
-        })
-        .collect();
-    let blocks = cfg.code.reconstruct_stripe(&shares)?;
+    let key: Vec<usize> = cset.iter().take(k).copied().collect();
+    let blocks = reconstruct_blocks(cfg, &key, &mut states)?;
 
     // `blocks` owns the reconstructed stripe and has no further use: move
     // each block into its Reconstruct request rather than cloning n blocks.
@@ -366,6 +355,193 @@ fn recover_inner(
         res?;
     }
     Ok(RecoveryOutcome::Completed)
+}
+
+/// Decodes the full stripe from the consistent members `key` (exactly `k`
+/// in-stripe indices) and re-encodes the redundancy, returning all `n`
+/// blocks in index order.
+///
+/// This is the shared decode heart of phase 3 and the rebuild engine: the
+/// Vandermonde inversion comes from `cfg.plan_cache` (computed once per
+/// erasure pattern, not once per stripe), scratch buffers come from the
+/// thread-local [`crate::pool`], and the fetched state blocks are handed
+/// back to that pool once decoded — steady-state reconstruction of a long
+/// run of stripes allocates nothing.
+pub(crate) fn reconstruct_blocks(
+    cfg: &ProtocolConfig,
+    key: &[usize],
+    states: &mut [GetStateReply],
+) -> Result<Vec<Vec<u8>>, CodeError> {
+    let k = cfg.k();
+    let p = cfg.n() - k;
+    let plan = cfg.plan_cache.plan(&cfg.code, key)?;
+    let len = key
+        .first()
+        .and_then(|&t| states[t].block.as_ref())
+        .map_or(0, |b| b.len());
+    let mut data: Vec<Vec<u8>> = (0..k).map(|_| crate::pool::take(len)).collect();
+    let mut red: Vec<Vec<u8>> = (0..p).map(|_| crate::pool::take(len)).collect();
+    let decoded = {
+        // A `None` block (impossible for consistent members) surfaces as a
+        // WrongBlockCount error from `decode_into`, not a panic.
+        let shares: Vec<&[u8]> = key
+            .iter()
+            .filter_map(|&t| states[t].block.as_deref())
+            .collect();
+        let mut out: Vec<&mut [u8]> = data.iter_mut().map(|b| b.as_mut_slice()).collect();
+        plan.decode_into(&shares, &mut out)
+    }
+    .and_then(|()| {
+        let mut out: Vec<&mut [u8]> = red.iter_mut().map(|b| b.as_mut_slice()).collect();
+        cfg.code.encode_into(&data, &mut out)
+    });
+    give_blocks(states);
+    data.extend(red);
+    match decoded {
+        Ok(()) => Ok(data),
+        Err(e) => {
+            for b in data {
+                crate::pool::give(b);
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Returns every fetched state block to the thread-local buffer pool.
+fn give_blocks(states: &mut [GetStateReply]) {
+    for s in states.iter_mut() {
+        if let Some(b) = s.block.take() {
+            crate::pool::give(b);
+        }
+    }
+}
+
+/// Decides whether a degraded read of data block `i` can be served
+/// lock-free from one round of `GetState` replies (DESIGN.md §8), and if
+/// so from which `k` share indices to decode.
+///
+/// `states` must be `n` entries in in-stripe index order; node `i` itself
+/// and unreachable peers are represented by `INIT` placeholders (never
+/// candidates). The read is safe only when every tid question has one
+/// answer:
+///
+/// 1. **No node is in `RECONS`** — a crashed recovery pins a saved
+///    consistent set that this reader has not adopted; decoding around it
+///    could disagree with the recovery's eventual outcome.
+/// 2. **`find_consistent` yields ≥ k members including a redundant node**
+///    — fewer means a write is mid-drain (or too many failures), and a
+///    data-only set says nothing about block `i`.
+/// 3. **Block-`i` tid agreement** — every candidate's view of outstanding
+///    block-`i` writes (recentlist tids with `tid.block == i`, minus the
+///    GC'd `Ĝ`) must match the chosen set's view. A write that *completed*
+///    put its add on all redundant nodes, so candidates always agree on
+///    it; disagreement can only come from a write still draining, which is
+///    exactly when lock-free decoding of block `i` is ambiguous.
+///
+/// Returns `None` on any ambiguity: the caller falls back to Fig. 6
+/// recovery, which drains and settles the question under locks.
+pub(crate) fn degraded_plan(states: &[GetStateReply], k: usize, i: usize) -> Option<Vec<usize>> {
+    if states.iter().any(|s| s.opmode == OpMode::Recons) {
+        return None;
+    }
+    let cset = find_consistent(states, k);
+    if cset.len() < k {
+        return None;
+    }
+    let candidates: Vec<usize> = states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.opmode == OpMode::Norm && s.block.is_some())
+        .map(|(t, _)| t)
+        .collect();
+    let ghat: BTreeSet<Tid> = candidates
+        .iter()
+        .flat_map(|&t| states[t].oldlist.iter().map(|e| e.tid))
+        .collect();
+    let block_i_tids = |t: usize| -> BTreeSet<Tid> {
+        states[t]
+            .recentlist
+            .iter()
+            .map(|e| e.tid)
+            .filter(|tid| tid.block == i && !ghat.contains(tid))
+            .collect()
+    };
+    let visible: BTreeSet<Tid> = candidates.iter().flat_map(|&t| block_i_tids(t)).collect();
+    // A set of ≥ k members that excludes `i` must contain a redundant node;
+    // its filtered block-`i` tids are what the decode will reflect.
+    let r = cset.iter().copied().find(|&t| t >= k)?;
+    if block_i_tids(r) != visible {
+        return None;
+    }
+    Some(cset.into_iter().take(k).collect())
+}
+
+/// Lock-free degraded read of data block `i` (DESIGN.md §8): one batched
+/// `GetState` round to the `n − 1` peers, [`degraded_plan`] on the replies,
+/// and a client-side single-block decode via the plan cache. No locks are
+/// taken and no recovery is triggered.
+///
+/// Returns `Ok(None)` whenever the lock-free path is not safe (peers
+/// unreachable, writes draining, crashed recovery in progress) — the
+/// caller then falls back to [`recover`]. Transport errors are folded into
+/// `Ok(None)` too: a peer we cannot reach is simply not a candidate.
+pub(crate) fn degraded_read(
+    endpoint: &ClientEndpoint,
+    cfg: &ProtocolConfig,
+    stripe: StripeId,
+    i: usize,
+) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let n = cfg.n();
+    let k = cfg.k();
+    let peers: Vec<usize> = (0..n).filter(|&t| t != i).collect();
+    let calls: Vec<(NodeId, Request)> = peers
+        .iter()
+        .map(|&t| {
+            (
+                NodeId(cfg.layout.node_for(stripe.0, t) as u32),
+                Request::GetState { stripe },
+            )
+        })
+        .collect();
+    let placeholder = || GetStateReply {
+        opmode: OpMode::Init,
+        recons_set: vec![],
+        oldlist: vec![],
+        recentlist: vec![],
+        block: None,
+    };
+    let mut states: Vec<GetStateReply> = (0..n).map(|_| placeholder()).collect();
+    for (&t, res) in peers.iter().zip(call_many(endpoint, cfg, calls)) {
+        if let Ok(Reply::GetState(s)) = res {
+            states[t] = s;
+        }
+    }
+    let Some(key) = degraded_plan(&states, k, i) else {
+        give_blocks(&mut states);
+        return Ok(None);
+    };
+    let decoded = (|| {
+        let plan = cfg.plan_cache.plan(&cfg.code, &key)?;
+        let shares: Vec<&[u8]> = key
+            .iter()
+            .filter_map(|&t| states[t].block.as_deref())
+            .collect();
+        let len = shares.first().map_or(0, |s| s.len());
+        let mut out = crate::pool::take(len);
+        match plan.reconstruct_one_into(i, &shares, &mut out) {
+            Ok(()) => Ok(out),
+            Err(e) => {
+                crate::pool::give(out);
+                Err(e)
+            }
+        }
+    })();
+    give_blocks(&mut states);
+    // Decode errors mean ragged or missing shares — not a state the
+    // protocol produces, but the conservative answer is the same as for
+    // any other ambiguity: fall back to recovery.
+    Ok(decoded.ok())
 }
 
 fn unlock_all(
@@ -565,5 +741,107 @@ mod tests {
     #[test]
     fn empty_input_gives_empty_set() {
         assert!(find_consistent(&[], 2).is_empty());
+    }
+
+    fn absent() -> GetStateReply {
+        state(OpMode::Init, vec![], vec![], None)
+    }
+
+    #[test]
+    fn degraded_plan_quiet_stripe_decodes_from_first_k_members() {
+        // k = 2, n = 4, node 0 crashed (placeholder), nobody writing.
+        let states = vec![absent(), norm(vec![]), norm(vec![]), norm(vec![])];
+        assert_eq!(degraded_plan(&states, 2, 0), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn degraded_plan_refuses_while_a_recovery_is_reconstructing() {
+        let mut states = vec![absent(), norm(vec![]), norm(vec![]), norm(vec![])];
+        states[3].opmode = OpMode::Recons;
+        states[3].block = None;
+        assert_eq!(degraded_plan(&states, 2, 0), None);
+    }
+
+    #[test]
+    fn degraded_plan_needs_k_consistent_members() {
+        // Only one peer reachable: nothing to decode from.
+        let states = vec![absent(), norm(vec![]), absent(), absent()];
+        assert_eq!(degraded_plan(&states, 2, 0), None);
+    }
+
+    #[test]
+    fn degraded_plan_refuses_a_data_only_consistent_set() {
+        // Redundant nodes disagree with each other and with the data
+        // nodes, so the best set is data-only — it cannot answer for the
+        // missing block i even if it reaches k members.
+        let t0 = entry(1, 1, 1);
+        let t1 = entry(2, 2, 1);
+        let states = vec![
+            absent(),
+            norm(vec![]),
+            norm(vec![]),
+            norm(vec![t0]),
+            norm(vec![t1]),
+        ];
+        // k = 3: candidates 1,2 are data; 3,4 are redundant but split.
+        assert_eq!(degraded_plan(&states, 3, 0), None);
+    }
+
+    #[test]
+    fn degraded_plan_rejects_a_draining_write_the_chosen_set_missed() {
+        // n = 5, k = 2, reading block 0. A write to block 0 swapped at the
+        // (now crashed) data node and added only at redundant node 2; the
+        // larger consistent set {1, 3, 4} has not seen it. The union view
+        // {t} disagrees with the chosen set's view {} → ambiguous.
+        let t = entry(1, 0, 1);
+        let states = vec![
+            absent(),
+            norm(vec![]),
+            norm(vec![t]),
+            norm(vec![]),
+            norm(vec![]),
+        ];
+        assert_eq!(degraded_plan(&states, 2, 0), None);
+    }
+
+    #[test]
+    fn degraded_plan_accepts_when_the_chosen_set_carries_the_write() {
+        // Same shape, n = 4: the group holding the write ties the empty
+        // group at size 2 but is found first via data node 1; either way
+        // the chosen set must agree with the union view to decode.
+        let t = entry(1, 0, 1);
+        let states = vec![absent(), norm(vec![]), norm(vec![t]), norm(vec![t])];
+        // Redundant group {2, 3} agrees on {t}; union view is {t}: safe.
+        assert_eq!(degraded_plan(&states, 2, 0), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn degraded_plan_ignores_drains_for_other_blocks() {
+        // A write to block 1 is mid-drain, but we are reading block 0:
+        // block-0 tid views all agree (empty), so the read is safe as long
+        // as find_consistent still yields k members agreeing on block 1.
+        let t = entry(1, 1, 1);
+        let states = vec![
+            absent(),
+            norm(vec![t]),
+            norm(vec![t]),
+            norm(vec![]),
+        ];
+        // Group {2} matches data node 1 → S = {1, 2}; group {3} does not.
+        assert_eq!(degraded_plan(&states, 2, 0), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn degraded_plan_gcd_writes_are_not_ambiguous() {
+        // The write completed long ago and was GC'd to an oldlist at node
+        // 2 while node 3 still lists it: Ĝ excuses it on both sides.
+        let t = entry(1, 0, 1);
+        let states = vec![
+            absent(),
+            norm(vec![]),
+            state(OpMode::Norm, vec![], vec![t], Some(vec![0])),
+            norm(vec![t]),
+        ];
+        assert_eq!(degraded_plan(&states, 2, 0), Some(vec![1, 2]));
     }
 }

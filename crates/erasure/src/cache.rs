@@ -1,0 +1,170 @@
+//! A concurrency-safe cache of [`DecodePlan`]s keyed by surviving-index
+//! set.
+//!
+//! Recovery and rebuild decode the *same erasure pattern* over and over:
+//! with one failed node and rotated placement, a full-node rebuild cycles
+//! through exactly `n` distinct surviving-index sets, yet the naive path
+//! re-runs the k×k Vandermonde inversion for every stripe. The cache turns
+//! that into one inversion per pattern for the lifetime of the
+//! configuration, with all subsequent stripes paying only a map lookup.
+
+use crate::code::{DecodePlan, ReedSolomon};
+use crate::error::CodeError;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A shared, thread-safe memo of [`ReedSolomon::plan_decode`] results.
+///
+/// Plans are keyed by the index slice *as given*: callers should pass
+/// indices in a canonical (sorted) order to maximize sharing — the
+/// protocol's `find_consistent` already returns sorted sets. A cache must
+/// only ever be used with a **single** code: plans for a different
+/// `(k, n)` or coefficient matrix would collide on the same keys.
+///
+/// # Example
+///
+/// ```
+/// use ajx_erasure::{PlanCache, ReedSolomon};
+///
+/// # fn main() -> Result<(), ajx_erasure::CodeError> {
+/// let rs = ReedSolomon::new(2, 4)?;
+/// let cache = PlanCache::new();
+/// let a = cache.plan(&rs, &[1, 3])?;
+/// let b = cache.plan(&rs, &[1, 3])?;
+/// assert!(std::sync::Arc::ptr_eq(&a, &b), "second lookup is a cache hit");
+/// assert_eq!(cache.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<Vec<usize>, Arc<DecodePlan>>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The plan for decoding `code` from `indices`, computing and caching
+    /// it on first use.
+    ///
+    /// The inversion runs *outside* the cache lock, so a slow first
+    /// computation never stalls concurrent lookups of other patterns; if
+    /// two threads race on the same fresh pattern, one result wins and
+    /// both callers share it.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReedSolomon::plan_decode`]; errors are not cached.
+    pub fn plan(
+        &self,
+        code: &ReedSolomon,
+        indices: &[usize],
+    ) -> Result<Arc<DecodePlan>, CodeError> {
+        if let Some(plan) = self.lock().get(indices) {
+            return Ok(Arc::clone(plan));
+        }
+        let fresh = Arc::new(code.plan_decode(indices)?);
+        Ok(Arc::clone(
+            self.lock().entry(indices.to_vec()).or_insert(fresh),
+        ))
+    }
+
+    /// Number of cached erasure patterns.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache holds no plans yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Drops every cached plan (e.g. after reconfiguring the code).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<Vec<usize>, Arc<DecodePlan>>> {
+        // A panic while holding the lock can only happen outside any
+        // mutation (the map is only read/inserted-into), so a poisoned
+        // cache is still structurally sound.
+        match self.plans.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("patterns", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_one_plan_per_pattern() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let cache = PlanCache::new();
+        assert!(cache.is_empty());
+        let a = cache.plan(&rs, &[0, 2]).unwrap();
+        let b = cache.plan(&rs, &[0, 2]).unwrap();
+        let c = cache.plan(&rs, &[1, 3]).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn key_is_order_sensitive_by_design() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let cache = PlanCache::new();
+        let fwd = cache.plan(&rs, &[1, 3]).unwrap();
+        let rev = cache.plan(&rs, &[3, 1]).unwrap();
+        // Different share order = different plan (shares are positional);
+        // both decode correctly, they just don't share an entry.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(fwd.indices(), &[1, 3]);
+        assert_eq!(rev.indices(), &[3, 1]);
+    }
+
+    #[test]
+    fn invalid_patterns_error_and_are_not_cached() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let cache = PlanCache::new();
+        assert!(cache.plan(&rs, &[0]).is_err());
+        assert!(cache.plan(&rs, &[0, 0]).is_err());
+        assert!(cache.plan(&rs, &[0, 9]).is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_plan_decodes_identically_to_fresh() {
+        let rs = ReedSolomon::new(3, 6).unwrap();
+        let data: Vec<Vec<u8>> = (0..3).map(|i| vec![(7 * i + 1) as u8; 24]).collect();
+        let stripe = rs.encode_stripe(&data).unwrap();
+        let cache = PlanCache::new();
+        let idx = [1usize, 3, 5];
+        let cached = cache.plan(&rs, &idx).unwrap();
+        let fresh = rs.plan_decode(&idx).unwrap();
+        let shares: Vec<&[u8]> = idx.iter().map(|&i| &stripe[i][..]).collect();
+        let mut a = vec![vec![0u8; 24]; 3];
+        let mut b = vec![vec![0u8; 24]; 3];
+        let mut va: Vec<&mut [u8]> = a.iter_mut().map(|x| x.as_mut_slice()).collect();
+        let mut vb: Vec<&mut [u8]> = b.iter_mut().map(|x| x.as_mut_slice()).collect();
+        cached.decode_into(&shares, &mut va).unwrap();
+        fresh.decode_into(&shares, &mut vb).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, data);
+    }
+}

@@ -481,6 +481,47 @@ impl DecodePlan {
         }
         Ok(())
     }
+
+    /// Decodes **one** data block `i` into `out` — the degraded-read form:
+    /// a client that only needs the failed node's block pays `k` fused
+    /// multiply-adds over one output row instead of materializing all `k`
+    /// data blocks.
+    ///
+    /// `shares` are blocks in [`indices`](DecodePlan::indices) order, as
+    /// for [`decode_into`](DecodePlan::decode_into).
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::IndexOutOfRange`] if `i` is not a data index;
+    /// [`CodeError::WrongBlockCount`] on a wrong share count;
+    /// [`CodeError::LengthMismatch`] on ragged blocks.
+    pub fn reconstruct_one_into(
+        &self,
+        i: usize,
+        shares: &[&[u8]],
+        out: &mut [u8],
+    ) -> Result<(), CodeError> {
+        if i >= self.k {
+            return Err(CodeError::IndexOutOfRange { index: i, n: self.k });
+        }
+        if shares.len() != self.k {
+            return Err(CodeError::WrongBlockCount {
+                expected: self.k,
+                got: shares.len(),
+            });
+        }
+        let len = check_equal_lengths(shares)?;
+        if out.len() != len {
+            return Err(CodeError::LengthMismatch);
+        }
+        out.fill(0);
+        for (s, share) in shares.iter().enumerate() {
+            // `inv_cols[s][i]` is the weight of share `s` in output block
+            // `i`; stream each share through the single output row.
+            slice::mul_add_multi(&mut [&mut *out], &self.inv_cols[s][i..=i], share);
+        }
+        Ok(())
+    }
 }
 
 fn check_equal_lengths<B: AsRef<[u8]>>(blocks: &[B]) -> Result<usize, CodeError> {
@@ -693,6 +734,45 @@ mod tests {
             plan.decode_into(&shares, &mut views).unwrap();
             assert_eq!(out, data, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn reconstruct_one_into_matches_full_decode() {
+        let rs = ReedSolomon::new(3, 6).unwrap();
+        let data = random_data(3, 40, 17);
+        let stripe = rs.encode_stripe(&data).unwrap();
+        let idx = [2usize, 3, 5];
+        let plan = rs.plan_decode(&idx).unwrap();
+        let shares: Vec<&[u8]> = idx.iter().map(|&t| &stripe[t][..]).collect();
+        let mut one = vec![0xEEu8; 40];
+        for (i, want) in data.iter().enumerate() {
+            plan.reconstruct_one_into(i, &shares, &mut one).unwrap();
+            assert_eq!(&one, want, "block {i}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_one_into_validates_shapes() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let plan = rs.plan_decode(&[1, 2]).unwrap();
+        let b = [0u8; 8];
+        let mut out = [0u8; 8];
+        assert!(matches!(
+            plan.reconstruct_one_into(2, &[&b[..], &b[..]], &mut out),
+            Err(CodeError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            plan.reconstruct_one_into(0, &[&b[..]], &mut out),
+            Err(CodeError::WrongBlockCount { .. })
+        ));
+        assert!(matches!(
+            plan.reconstruct_one_into(0, &[&b[..], &b[..4]], &mut out),
+            Err(CodeError::LengthMismatch)
+        ));
+        assert!(matches!(
+            plan.reconstruct_one_into(0, &[&b[..], &b[..]], &mut [0u8; 4]),
+            Err(CodeError::LengthMismatch)
+        ));
     }
 
     #[test]

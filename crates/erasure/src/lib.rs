@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod code;
 mod error;
 mod layout;
@@ -47,6 +48,7 @@ mod linear;
 mod matrix;
 mod wide;
 
+pub use cache::PlanCache;
 pub use code::{DecodePlan, ReedSolomon, MAX_N};
 pub use error::CodeError;
 pub use layout::{NodeIndex, Placement, Role, StripeLayout};

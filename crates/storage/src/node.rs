@@ -312,6 +312,7 @@ pub struct StorageNode {
     dirty: Option<StripeId>,
     media_writes: u64,
     ops_handled: u64,
+    lock_ops: u64,
     /// `Some(garbage)` after a fail-remap: stripes touched for the first
     /// time materialize as INIT garbage, because the *whole replacement
     /// node* starts uninitialized (§3.5), not just previously-seen stripes.
@@ -331,6 +332,7 @@ impl StorageNode {
             dirty: None,
             media_writes: 0,
             ops_handled: 0,
+            lock_ops: 0,
             remap_garbage: None,
         }
     }
@@ -363,6 +365,13 @@ impl StorageNode {
         self.ops_handled
     }
 
+    /// Lock-protocol requests handled (`trylock` / `setlock` /
+    /// `getrecent`) — instrumentation for asserting that the degraded-read
+    /// fast path really takes no locks.
+    pub fn lock_ops(&self) -> u64 {
+        self.lock_ops
+    }
+
     /// Media writes performed under the current [`FlushPolicy`]
     /// (instrumentation for the §3.11 sequential-write ablation).
     pub fn media_writes(&self) -> u64 {
@@ -389,6 +398,12 @@ impl StorageNode {
     /// operations, so a batch of m increments it m times.
     fn handle_one(&mut self, req: Request) -> Reply {
         self.ops_handled += 1;
+        if matches!(
+            req,
+            Request::TryLock { .. } | Request::SetLock { .. } | Request::GetRecent { .. }
+        ) {
+            self.lock_ops += 1;
+        }
         let stripe = req.stripe();
         let mutates = matches!(
             req,
@@ -739,6 +754,51 @@ mod tests {
         assert!(matches!(&replies[2], Reply::Read(r) if r.block == Some(vec![0; 4])));
         // ops_handled counts individual operations, not messages.
         assert_eq!(node.ops_handled(), 3);
+    }
+
+    #[test]
+    fn batched_get_state_spans_stripes_and_takes_no_locks() {
+        // The rebuild engine's phase 2: one message probing many stripes'
+        // states. The replies must be per-stripe and the whole batch must
+        // leave the lock counter untouched.
+        let mut node = StorageNode::new(NodeId(0), 4);
+        node.handle(Request::Swap {
+            stripe: StripeId(1),
+            value: vec![9; 4],
+            ntid: tid(1),
+        });
+        let reply = node.handle(Request::Batch(
+            (0..3).map(|s| Request::GetState { stripe: StripeId(s) }).collect(),
+        ));
+        let Reply::Batch(replies) = reply else {
+            panic!("expected Reply::Batch");
+        };
+        assert_eq!(replies.len(), 3);
+        let Reply::GetState(s1) = &replies[1] else {
+            panic!("expected Reply::GetState");
+        };
+        assert_eq!(s1.block.as_deref(), Some(&[9u8; 4][..]));
+        assert_eq!(s1.recentlist.len(), 1);
+        assert_eq!(node.lock_ops(), 0, "get_state is not a lock operation");
+        // Lock-protocol requests do tick the counter, batched or not.
+        node.handle(Request::Batch(vec![
+            Request::TryLock {
+                stripe: StripeId(0),
+                lm: LMode::L1,
+                caller: ClientId(3),
+            },
+            Request::SetLock {
+                stripe: StripeId(0),
+                lm: LMode::Unl,
+                caller: ClientId(3),
+            },
+        ]));
+        node.handle(Request::GetRecent {
+            stripe: StripeId(1),
+            lm: LMode::L1,
+            caller: ClientId(3),
+        });
+        assert_eq!(node.lock_ops(), 3);
     }
 
     #[test]

@@ -14,7 +14,13 @@ fn cluster(k: usize, n: usize, clients: usize) -> Cluster {
 
 #[test]
 fn storage_crash_then_read_triggers_online_recovery() {
-    let c = cluster(3, 5, 2);
+    // The legacy read-repairs-stripe path, kept behind the
+    // `degraded_reads` switch (the default now serves such reads
+    // lock-free and leaves repair to the rebuild engine — see
+    // degraded_rebuild.rs).
+    let mut cfg = ProtocolConfig::new(3, 5, 32).unwrap();
+    cfg.degraded_reads = false;
+    let c = Cluster::new(cfg, 2);
     for lb in 0..6u64 {
         c.client(0).write_block(lb, vec![lb as u8 + 1; 32]).unwrap();
     }
@@ -72,6 +78,9 @@ fn tolerates_p_simultaneous_storage_crashes() {
             "block {lb} after double crash"
         );
     }
+    // The degraded reads served correct data but repaired nothing; an
+    // explicit recovery restores full redundancy.
+    c.client(0).recover_stripe(StripeId(0)).unwrap();
     assert!(c.stripe_is_consistent(StripeId(0)));
 }
 
@@ -148,10 +157,11 @@ fn crash_during_recovery_is_picked_up_via_recons_set() {
     c.crash_storage_node(NodeId(0));
     c.remap_storage_node(NodeId(0));
 
-    // Recovery call budget: read(1 fails) + trylocks(4) + get_states(4)
-    // + relock getrecent(2) + 2 of 4 reconstructs, then death.
-    let detect = c.kill_client_after(0, 1 + 4 + 4 + 2 + 2);
-    let err = c.client(0).read_block(0).unwrap_err();
+    // Recovery call budget: trylocks(4) + get_states(4) + relock
+    // getrecent(2) + 2 of 4 reconstructs, then death. (Recovery is driven
+    // explicitly: a read of the remapped block would be served degraded.)
+    let detect = c.kill_client_after(0, 4 + 4 + 2 + 2);
+    let err = c.client(0).recover_stripe(StripeId(0)).unwrap_err();
     assert_eq!(err, ProtocolError::Rpc(RpcError::ClientKilled));
     let expired = detect();
     assert!(expired > 0, "dead client held recovery locks");
@@ -296,8 +306,11 @@ fn monitoring_restores_resilience_after_tp_plus_one_client_crashes() {
 #[test]
 fn concurrent_recovery_attempts_do_not_deadlock() {
     // Crash a node, then let two clients collide on recovery: trylock
-    // ordering + LostRace must resolve it.
-    let c = Arc::new(cluster(2, 4, 2));
+    // ordering + LostRace must resolve it. Degraded reads are disabled so
+    // that both reads actually race into Fig. 6 recovery.
+    let mut cfg = ProtocolConfig::new(2, 4, 32).unwrap();
+    cfg.degraded_reads = false;
+    let c = Arc::new(Cluster::new(cfg, 2));
     c.client(0).write_block(0, vec![6; 32]).unwrap();
     c.crash_storage_node(NodeId(1));
     crossbeam::thread::scope(|s| {

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Repo check entry point: release build, lint wall, full workspace test
 # suite, a seeded chaos smoke run, the GF(2^8) kernel backend matrix
-# (per-backend test runs + BENCH_kernels.json), and the batched data-path
-# throughput smoke (BENCH_datapath.json).
+# (per-backend test runs + BENCH_kernels.json), the batched data-path
+# throughput smoke (BENCH_datapath.json), and the degraded-read/rebuild
+# smoke (BENCH_recovery.json — asserts the >=4x rebuild speedup and
+# zero-lock degraded reads internally).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,3 +26,8 @@ echo "== batched data path (ext_seq_throughput --smoke) =="
 cargo run --release -p ajx-bench --bin ext_seq_throughput -- --smoke \
   > BENCH_datapath.json
 cat BENCH_datapath.json
+
+echo "== degraded reads + rebuild engine (ext_rebuild --smoke) =="
+cargo run --release -p ajx-bench --bin ext_rebuild -- --smoke \
+  > BENCH_recovery.json
+cat BENCH_recovery.json
