@@ -72,6 +72,12 @@ pub struct ChaosOptions {
     /// [`write_blocks`](ajx_core::Client::write_blocks)), recording each
     /// block individually so the regularity check still applies per block.
     pub max_run: u64,
+    /// Per-node request-queue bound (`None` = unbounded). Small values
+    /// make the reactor nodes shed load with `Busy` mid-chaos, exercising
+    /// the backpressure path under the determinism contract.
+    pub node_queue_depth: Option<usize>,
+    /// Stripe-state shards per node (see [`ajx_storage::ShardedNode`]).
+    pub state_shards: usize,
 }
 
 impl Default for ChaosOptions {
@@ -98,6 +104,8 @@ impl Default for ChaosOptions {
             monitor_every: 5,
             stale_age: 200,
             max_run: 1,
+            node_queue_depth: Some(1024),
+            state_shards: 8,
         }
     }
 }
@@ -183,6 +191,8 @@ pub fn run_chaos(cfg: ProtocolConfig, opts: &ChaosOptions) -> ChaosReport {
             // submission order, part of the determinism contract above.
             server_threads: 1,
             call_timeout: Some(opts.call_timeout),
+            node_queue_depth: opts.node_queue_depth,
+            state_shards: opts.state_shards,
             ..NetworkConfig::default()
         },
     );

@@ -65,6 +65,8 @@ impl Cluster {
                 call_timeout: None,
                 code: None,
                 flush_policy,
+                node_queue_depth: Some(1024),
+                state_shards: 8,
             },
         )
     }

@@ -58,6 +58,7 @@ pub mod backoff;
 mod client;
 mod config;
 mod error;
+pub mod mux;
 mod pool;
 mod rebuild;
 pub mod recovery;
@@ -68,5 +69,6 @@ pub use backoff::{BackoffPolicy, BackoffSession, Jitter};
 pub use client::{Client, GcReport, MonitorReport};
 pub use config::{ProtocolConfig, UpdateStrategy};
 pub use error::ProtocolError;
+pub use mux::{run_mux_workload, MuxOptions, MuxReport};
 pub use rebuild::RebuildReport;
 pub use recovery::{find_consistent, RecoveryOutcome};

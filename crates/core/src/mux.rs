@@ -1,0 +1,573 @@
+//! Connection-multiplexed many-client workload driver.
+//!
+//! The paper's Fig. 9 experiments stop at 8 closed-loop clients — one
+//! blocked thread each. The `ext_many_clients` scale-out experiment pushes
+//! the same k-of-n read/write mix to 1k–10k *logical* clients, which rules
+//! out thread-per-client: this module drives every client's protocol state
+//! machine over the transport's completion-queue path
+//! ([`ajx_transport::ClientEndpoint::submit_call`] /
+//! [`poll_call`](ajx_transport::ClientEndpoint::poll_call)), so a handful
+//! of OS threads multiplex the whole fleet.
+//!
+//! Each logical client runs the failure-free protocol inline:
+//!
+//! * **READ** (Fig. 4): one RPC to the stripe's data node.
+//! * **WRITE** (Fig. 5): `swap` at the data node, then the `α_ji·(v − w)`
+//!   delta `add`s to all `n − k` redundant nodes in parallel.
+//!
+//! [`RpcError::Busy`] (a node shedding load) and `AddStatus::Order` (a
+//! concurrent-write ordering stall) park the affected RPC on a jittered
+//! backoff and resubmit — the same policy the blocking retry path applies,
+//! minus the sleeping. Clients write disjoint stripe ranges, so the
+//! paper's cross-client ordering machinery is never the bottleneck being
+//! measured.
+
+use crate::backoff::BackoffSession;
+use crate::config::ProtocolConfig;
+use ajx_storage::{AddStatus, ClientId, NodeId, Reply, Request, StripeId, Tid};
+use ajx_transport::{ClientEndpoint, Network, NetStats, PendingCall, RpcError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shape of a [`run_mux_workload`] run.
+#[derive(Debug, Clone)]
+pub struct MuxOptions {
+    /// Number of logical clients.
+    pub clients: usize,
+    /// Closed-loop operations per client.
+    pub ops_per_client: usize,
+    /// Percentage of operations that are READs (the rest are WRITEs).
+    pub read_pct: u32,
+    /// Stripes in each client's private range (clients never share one).
+    pub stripes_per_client: u64,
+    /// OS threads driving the client fleet.
+    pub driver_threads: usize,
+}
+
+impl Default for MuxOptions {
+    fn default() -> Self {
+        MuxOptions {
+            clients: 8,
+            ops_per_client: 100,
+            read_pct: 50,
+            stripes_per_client: 4,
+            driver_threads: 1,
+        }
+    }
+}
+
+/// Aggregate outcome of a [`run_mux_workload`] run.
+#[derive(Debug)]
+pub struct MuxReport {
+    /// Logical clients driven.
+    pub clients: usize,
+    /// Operations that completed successfully.
+    pub completed_ops: u64,
+    /// Operations abandoned on a non-retryable error.
+    pub failed_ops: u64,
+    /// `Busy` rejections absorbed by backoff-and-resubmit.
+    pub busy_shed: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Operation-level latency histogram (p50/p99 via
+    /// [`NetStats::latency_percentile`]).
+    pub op_stats: Arc<NetStats>,
+}
+
+impl MuxReport {
+    /// Aggregate completed operations per second.
+    pub fn iops(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.completed_ops as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// One outstanding redundant-node `add` of a WRITE.
+enum AddSlot {
+    Pending(PendingCall),
+    /// Parked by `Busy`/`Order`; resubmitted once `at` passes.
+    Parked { at: Instant },
+    Done,
+}
+
+/// Where a logical client is inside its current operation.
+enum Phase {
+    /// Between operations.
+    Idle,
+    /// Waiting out a `Busy` shed before (re)issuing the current RPC.
+    Parked { at: Instant, read: bool },
+    /// READ in flight.
+    Read(PendingCall),
+    /// WRITE phase 1: `swap` at the data node.
+    Swap(PendingCall),
+    /// WRITE phase 2: parallel delta `add`s.
+    Adds {
+        slots: Vec<AddSlot>,
+        old: Vec<u8>,
+        otid: Option<Tid>,
+        epoch: ajx_storage::Epoch,
+    },
+    /// All `ops_per_client` operations finished.
+    Finished,
+}
+
+/// One logical client's protocol state machine.
+struct LogicalClient {
+    ep: ClientEndpoint,
+    base_stripe: u64,
+    op_idx: usize,
+    seq: u64,
+    phase: Phase,
+    backoff: BackoffSession,
+    op_started: Instant,
+    value: Vec<u8>,
+}
+
+impl LogicalClient {
+    fn stripe(&self, opts: &MuxOptions) -> StripeId {
+        StripeId(self.base_stripe + self.op_idx as u64 % opts.stripes_per_client)
+    }
+
+    /// Data-block index this operation targets.
+    fn data_index(&self, cfg: &ProtocolConfig) -> usize {
+        self.op_idx % cfg.k()
+    }
+
+    fn is_read(&self, opts: &MuxOptions) -> bool {
+        // Deterministic interleaved mix, e.g. read_pct 60 → ops 0-59 of
+        // every hundred read. Spread by a stride so reads and writes mix.
+        (self.op_idx as u32).wrapping_mul(37) % 100 < opts.read_pct
+    }
+
+    fn node_of(&self, cfg: &ProtocolConfig, stripe: StripeId, t: usize) -> NodeId {
+        NodeId(cfg.layout.node_for(stripe.0, t) as u32)
+    }
+}
+
+/// Outcome of driving one client one step.
+enum Step {
+    /// State advanced (an RPC resolved, was issued, or an op completed).
+    Progress,
+    /// Nothing resolvable right now.
+    Pending,
+    /// The client has completed all its operations.
+    Finished,
+}
+
+/// Drives `opts.clients` logical clients through a closed-loop read/write
+/// mix over `net`, multiplexed onto `opts.driver_threads` OS threads.
+///
+/// Every client gets its own [`ClientEndpoint`] (own fault-decision stream,
+/// own stats) and a private stripe range `[id · stripes_per_client, …)`.
+pub fn run_mux_workload(
+    net: &Arc<Network>,
+    cfg: &ProtocolConfig,
+    opts: &MuxOptions,
+) -> MuxReport {
+    let op_stats = Arc::new(NetStats::new());
+    let completed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let busy = AtomicU64::new(0);
+
+    let mut fleet: Vec<LogicalClient> = (0..opts.clients)
+        .map(|c| {
+            let id = ClientId(c as u32);
+            LogicalClient {
+                ep: net.client(id),
+                base_stripe: c as u64 * opts.stripes_per_client,
+                op_idx: 0,
+                seq: 0,
+                phase: Phase::Idle,
+                backoff: cfg.backoff.session(0xDEAD_BEEF ^ (c as u64) << 8),
+                op_started: Instant::now(),
+                value: Vec::new(),
+            }
+        })
+        .collect();
+
+    let started = Instant::now();
+    let threads = opts.driver_threads.max(1).min(fleet.len().max(1));
+    let chunk = fleet.len().div_ceil(threads).max(1);
+    std::thread::scope(|s| {
+        for slice in fleet.chunks_mut(chunk) {
+            let op_stats = Arc::clone(&op_stats);
+            let (completed, failed, busy) = (&completed, &failed, &busy);
+            s.spawn(move || {
+                let mut live = slice.len();
+                while live > 0 {
+                    let mut progressed = false;
+                    live = 0;
+                    for client in slice.iter_mut() {
+                        match step(client, cfg, opts, &op_stats, completed, failed, busy) {
+                            Step::Progress => {
+                                progressed = true;
+                                live += 1;
+                            }
+                            Step::Pending => live += 1,
+                            Step::Finished => {}
+                        }
+                    }
+                    if live > 0 && !progressed {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+
+    MuxReport {
+        clients: opts.clients,
+        completed_ops: completed.into_inner(),
+        failed_ops: failed.into_inner(),
+        busy_shed: busy.into_inner(),
+        elapsed: started.elapsed(),
+        op_stats,
+    }
+}
+
+/// Advances one client's state machine by at most one transition.
+fn step(
+    c: &mut LogicalClient,
+    cfg: &ProtocolConfig,
+    opts: &MuxOptions,
+    op_stats: &NetStats,
+    completed: &AtomicU64,
+    failed: &AtomicU64,
+    busy: &AtomicU64,
+) -> Step {
+    let now = Instant::now();
+    match &mut c.phase {
+        Phase::Finished => Step::Finished,
+
+        Phase::Idle => {
+            if c.op_idx >= opts.ops_per_client {
+                c.phase = Phase::Finished;
+                return Step::Finished;
+            }
+            c.op_started = now;
+            issue_op(c, cfg, opts);
+            Step::Progress
+        }
+
+        Phase::Parked { at, read } => {
+            if now < *at {
+                return Step::Pending;
+            }
+            let read = *read;
+            reissue_op(c, cfg, opts, read);
+            Step::Progress
+        }
+
+        Phase::Read(pending) => match c.ep.poll_call(pending) {
+            None => Step::Pending,
+            Some(Ok(_reply)) => {
+                finish_op(c, op_stats, completed, now);
+                Step::Progress
+            }
+            Some(Err(RpcError::Busy(_))) => {
+                busy.fetch_add(1, Ordering::Relaxed);
+                c.phase = Phase::Parked {
+                    at: now + c.backoff.next_delay(),
+                    read: true,
+                };
+                Step::Progress
+            }
+            Some(Err(_)) => {
+                abandon_op(c, failed);
+                Step::Progress
+            }
+        },
+
+        Phase::Swap(pending) => match c.ep.poll_call(pending) {
+            None => Step::Pending,
+            Some(Ok(Reply::Swap(r))) if r.block.is_some() => {
+                // Fig. 5 lines 7-12: fan the delta out to every redundant
+                // node in parallel.
+                let stripe = c.stripe(opts);
+                let i = c.data_index(cfg);
+                let ntid = Tid::new(c.seq, i, c.ep.id());
+                let old = r.block.expect("checked above");
+                let slots = (cfg.k()..cfg.n())
+                    .map(|j| {
+                        let mut delta = vec![0u8; cfg.block_size];
+                        cfg.code
+                            .delta_into_buf(j - cfg.k(), i, &c.value, &old, &mut delta)
+                            .expect("block sizes validated");
+                        AddSlot::Pending(c.ep.submit_call(
+                            c.node_of(cfg, stripe, j),
+                            Request::Add {
+                                stripe,
+                                delta,
+                                ntid,
+                                otid: r.otid,
+                                epoch: r.epoch,
+                                scale: None,
+                            },
+                        ))
+                    })
+                    .collect();
+                c.phase = Phase::Adds {
+                    slots,
+                    old,
+                    otid: r.otid,
+                    epoch: r.epoch,
+                };
+                Step::Progress
+            }
+            Some(Ok(_)) => {
+                // Swap rejected (locked / non-normal mode) — impossible in
+                // this fault-free closed loop, but don't wedge if it shows.
+                abandon_op(c, failed);
+                Step::Progress
+            }
+            Some(Err(RpcError::Busy(_))) => {
+                busy.fetch_add(1, Ordering::Relaxed);
+                c.phase = Phase::Parked {
+                    at: now + c.backoff.next_delay(),
+                    read: false,
+                };
+                Step::Progress
+            }
+            Some(Err(_)) => {
+                abandon_op(c, failed);
+                Step::Progress
+            }
+        },
+
+        Phase::Adds { slots, .. } => {
+            let mut progressed = false;
+            let mut all_done = true;
+            let mut park: Vec<usize> = Vec::new();
+            let mut fail = false;
+            for (idx, slot) in slots.iter_mut().enumerate() {
+                match slot {
+                    AddSlot::Done => {}
+                    AddSlot::Parked { at } => {
+                        all_done = false;
+                        if now >= *at {
+                            park.push(idx);
+                        }
+                    }
+                    AddSlot::Pending(pending) => match c.ep.poll_call(pending) {
+                        None => all_done = false,
+                        Some(Ok(Reply::Add(a))) if a.status == AddStatus::Ok => {
+                            *slot = AddSlot::Done;
+                            progressed = true;
+                        }
+                        Some(Ok(Reply::Add(_))) => {
+                            // Order/Unavail: not applied; retry after a
+                            // pause (§3.7 ordering stall).
+                            all_done = false;
+                            progressed = true;
+                            *slot = AddSlot::Parked {
+                                at: now + c.backoff.next_delay(),
+                            };
+                        }
+                        Some(Err(RpcError::Busy(_))) => {
+                            busy.fetch_add(1, Ordering::Relaxed);
+                            all_done = false;
+                            progressed = true;
+                            *slot = AddSlot::Parked {
+                                at: now + c.backoff.next_delay(),
+                            };
+                        }
+                        Some(Ok(_)) | Some(Err(_)) => {
+                            fail = true;
+                        }
+                    },
+                }
+            }
+            if fail {
+                abandon_op(c, failed);
+                return Step::Progress;
+            }
+            if !park.is_empty() {
+                resubmit_adds(c, cfg, opts, &park);
+                return Step::Progress;
+            }
+            if all_done {
+                finish_op(c, op_stats, completed, now);
+                return Step::Progress;
+            }
+            if progressed {
+                Step::Progress
+            } else {
+                Step::Pending
+            }
+        }
+    }
+}
+
+/// Starts the next operation: draws the op kind, builds the payload for
+/// writes, and issues the first RPC.
+fn issue_op(c: &mut LogicalClient, cfg: &ProtocolConfig, opts: &MuxOptions) {
+    let read = c.is_read(opts);
+    if !read {
+        c.seq += 1;
+        let fill = (c.op_idx as u8) ^ (c.ep.id().0 as u8).rotate_left(3);
+        c.value = vec![fill; cfg.block_size];
+    }
+    reissue_op(c, cfg, opts, read);
+}
+
+/// (Re)issues the current operation's first RPC — also the resume path
+/// after a `Busy` park, which must reuse the same tid so a retried swap
+/// stays idempotent at the node.
+fn reissue_op(c: &mut LogicalClient, cfg: &ProtocolConfig, opts: &MuxOptions, read: bool) {
+    let stripe = c.stripe(opts);
+    let i = c.data_index(cfg);
+    let node = c.node_of(cfg, stripe, i);
+    if read {
+        let pending = c.ep.submit_call(node, Request::Read { stripe });
+        c.phase = Phase::Read(pending);
+    } else {
+        let pending = c.ep.submit_call(
+            node,
+            Request::Swap {
+                stripe,
+                value: c.value.clone(),
+                ntid: Tid::new(c.seq, i, c.ep.id()),
+            },
+        );
+        c.phase = Phase::Swap(pending);
+    }
+}
+
+/// Resubmits the parked `add`s in `indices` (same tid: adds are
+/// deduplicated by tid at the node, so a retry can never double-apply).
+fn resubmit_adds(c: &mut LogicalClient, cfg: &ProtocolConfig, opts: &MuxOptions, indices: &[usize]) {
+    let stripe = c.stripe(opts);
+    let i = c.data_index(cfg);
+    let ntid = Tid::new(c.seq, i, c.ep.id());
+    let Phase::Adds { slots, old, otid, epoch } = &mut c.phase else {
+        unreachable!("resubmit_adds outside the Adds phase");
+    };
+    for &idx in indices {
+        let j = cfg.k() + idx;
+        let mut delta = vec![0u8; cfg.block_size];
+        cfg.code
+            .delta_into_buf(j - cfg.k(), i, &c.value, old, &mut delta)
+            .expect("block sizes validated");
+        slots[idx] = AddSlot::Pending(c.ep.submit_call(
+            NodeId(cfg.layout.node_for(stripe.0, j) as u32),
+            Request::Add {
+                stripe,
+                delta,
+                ntid,
+                otid: *otid,
+                epoch: *epoch,
+                scale: None,
+            },
+        ));
+    }
+}
+
+fn finish_op(c: &mut LogicalClient, op_stats: &NetStats, completed: &AtomicU64, now: Instant) {
+    op_stats.record_latency(now.saturating_duration_since(c.op_started));
+    completed.fetch_add(1, Ordering::Relaxed);
+    c.op_idx += 1;
+    c.phase = Phase::Idle;
+}
+
+fn abandon_op(c: &mut LogicalClient, failed: &AtomicU64) {
+    failed.fetch_add(1, Ordering::Relaxed);
+    c.op_idx += 1;
+    c.phase = Phase::Idle;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajx_transport::NetworkConfig;
+
+    fn cfg_4_8(block: usize) -> ProtocolConfig {
+        ProtocolConfig::new(4, 8, block).unwrap()
+    }
+
+    fn net_for(cfg: &ProtocolConfig, extra: impl FnOnce(&mut NetworkConfig)) -> Arc<Network> {
+        let mut nc = NetworkConfig {
+            n_nodes: cfg.n(),
+            block_size: cfg.block_size,
+            code: Some((*cfg.code).clone()),
+            ..NetworkConfig::default()
+        };
+        extra(&mut nc);
+        Network::new(nc)
+    }
+
+    #[test]
+    fn mixed_workload_completes_and_keeps_stripes_decodable() {
+        let cfg = cfg_4_8(64);
+        let net = net_for(&cfg, |_| {});
+        let opts = MuxOptions {
+            clients: 16,
+            ops_per_client: 30,
+            read_pct: 60,
+            stripes_per_client: 4,
+            driver_threads: 2,
+        };
+        let report = run_mux_workload(&net, &cfg, &opts);
+        assert_eq!(report.completed_ops + report.failed_ops, 16 * 30);
+        assert_eq!(report.failed_ops, 0, "fault-free run must not abandon ops");
+        assert!(report.op_stats.latency_percentile(0.5).is_some());
+
+        // Every written stripe must still satisfy the code: collect the
+        // n blocks of a few stripes and verify the parity relation.
+        for stripe in [0u64, 5, 17, 63] {
+            let blocks: Vec<Vec<u8>> = (0..cfg.n())
+                .map(|t| {
+                    let node = NodeId(cfg.layout.node_for(stripe, t) as u32);
+                    net.with_node(node, |n| {
+                        n.block_state(StripeId(stripe))
+                            .map(|b| b.raw_block().to_vec())
+                            .unwrap_or_else(|| vec![0; cfg.block_size])
+                    })
+                })
+                .collect();
+            assert!(
+                cfg.code.verify_stripe(&blocks).unwrap(),
+                "stripe {stripe} lost code consistency"
+            );
+        }
+    }
+
+    #[test]
+    fn backpressured_run_sheds_and_still_completes_everything() {
+        // A tiny queue forces Busy shedding; the driver's park-and-resubmit
+        // must still complete every op (shed requests were never applied).
+        let cfg = cfg_4_8(64);
+        let net = net_for(&cfg, |nc| {
+            nc.server_threads = 1;
+            nc.node_queue_depth = Some(2);
+        });
+        let opts = MuxOptions {
+            clients: 32,
+            ops_per_client: 10,
+            read_pct: 20,
+            stripes_per_client: 2,
+            driver_threads: 2,
+        };
+        let report = run_mux_workload(&net, &cfg, &opts);
+        assert_eq!(report.completed_ops, 32 * 10);
+        assert_eq!(report.failed_ops, 0);
+    }
+
+    #[test]
+    fn many_clients_multiplex_on_few_threads() {
+        let cfg = cfg_4_8(32);
+        let net = net_for(&cfg, |_| {});
+        let opts = MuxOptions {
+            clients: 512,
+            ops_per_client: 4,
+            read_pct: 50,
+            stripes_per_client: 2,
+            driver_threads: 2,
+        };
+        let report = run_mux_workload(&net, &cfg, &opts);
+        assert_eq!(report.completed_ops, 512 * 4);
+        assert!(report.iops() > 0.0);
+    }
+}

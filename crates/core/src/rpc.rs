@@ -48,6 +48,14 @@ pub(crate) fn call(
                 resends += 1;
                 backoff.pause();
             }
+            // Busy is shed *before* the node's queue — determinate, so
+            // even non-idempotent requests are safely resent after the
+            // same jittered backoff as a timeout. No remap: the node is
+            // healthy, just saturated.
+            Err(RpcError::Busy(_)) if resends < cfg.backoff.rpc_retry_budget => {
+                resends += 1;
+                backoff.pause();
+            }
             Err(e) => return Err(ProtocolError::from(e)),
         }
     }
@@ -77,6 +85,10 @@ pub(crate) fn call_many(
                     && req.is_idempotent()
                     && cfg.backoff.rpc_retry_budget > 0 =>
             {
+                call(endpoint, cfg, node, req)
+            }
+            // Shed by a full queue, never executed: retry any request.
+            Err(RpcError::Busy(_)) if cfg.backoff.rpc_retry_budget > 0 => {
                 call(endpoint, cfg, node, req)
             }
             Err(e) => Err(ProtocolError::from(e)),
@@ -267,6 +279,66 @@ mod tests {
         let reply = call(&ep, &cfg, NodeId(0), Request::Read { stripe: StripeId(0) }).unwrap();
         let Reply::Read(read) = reply else { panic!() };
         assert_eq!(read.block.as_deref(), Some(&[9u8; 16][..]));
+    }
+
+    #[test]
+    fn busy_retries_even_non_idempotent_requests_then_succeeds() {
+        use std::time::Duration;
+        let mut cfg = ProtocolConfig::new(2, 4, 16).unwrap();
+        cfg.backoff = crate::backoff::BackoffPolicy {
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            multiplier: 2,
+            jitter: crate::backoff::Jitter::None,
+            rpc_retry_budget: 3,
+        };
+        let net = Network::new(NetworkConfig {
+            n_nodes: 4,
+            block_size: 16,
+            server_threads: 1,
+            node_queue_depth: Some(1),
+            ..NetworkConfig::default()
+        });
+        let ep = net.client(ClientId(1));
+        // Saturate node 0 deterministically: the paused worker holds one
+        // job, a second fills the depth-1 queue.
+        net.pause_node(NodeId(0));
+        let mut held = ep.submit_call(NodeId(0), Request::Read { stripe: StripeId(0) });
+        while net.node_queue_len(NodeId(0)) > 0 {
+            std::thread::yield_now();
+        }
+        let mut queued = ep.submit_call(NodeId(0), Request::Read { stripe: StripeId(0) });
+
+        let swap = Request::Swap {
+            stripe: StripeId(0),
+            value: vec![7; 16],
+            ntid: ajx_storage::Tid::new(1, 0, ClientId(1)),
+        };
+        let sent_before = ep.stats().snapshot().msgs_sent;
+        // Busy is determinate, so even the non-idempotent swap burns the
+        // whole retry budget (unlike a timeout, which sends it once) —
+        // and surfaces as Busy, not as a remap-triggering NodeDown.
+        let err = call(&ep, &cfg, NodeId(0), swap.clone()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ProtocolError::Rpc(RpcError::Busy(_))
+        ));
+        assert_eq!(
+            ep.stats().snapshot().msgs_sent - sent_before,
+            4,
+            "initial send plus three budgeted re-sends"
+        );
+        assert!(net.node_is_up(NodeId(0)), "saturation must not trigger remap");
+
+        // Once the node drains, the same swap goes through.
+        net.resume_node(NodeId(0));
+        for call_slot in [&mut held, &mut queued] {
+            while ep.poll_call(call_slot).is_none() {
+                std::thread::yield_now();
+            }
+        }
+        let reply = call(&ep, &cfg, NodeId(0), swap).unwrap();
+        assert!(matches!(reply, Reply::Swap(_)));
     }
 
     #[test]

@@ -40,10 +40,12 @@
 #![warn(missing_docs)]
 
 mod node;
+mod shard;
 mod state;
 mod types;
 
 pub use node::{FlushPolicy, Reply, Request, StorageNode, MSG_HEADER_BYTES};
+pub use shard::{NodeView, ShardedNode};
 pub use state::{
     AddReply, AddStatus, BlockState, CheckTidReply, GetStateReply, ReadReply, SwapReply,
     TryLockReply,

@@ -28,6 +28,12 @@ pub enum RpcError {
     /// or the node's worker threads died mid-call. Distinct from
     /// [`RpcError::ClientKilled`] — the *caller* is fine.
     NetTornDown(NodeId),
+    /// The node's bounded request queue was full and the request was
+    /// rejected *before* being enqueued (backpressure shedding). Unlike
+    /// [`RpcError::Timeout`] this is determinate — the request definitely
+    /// did not execute — so even non-idempotent requests may be resent
+    /// after backing off, and no remap is warranted.
+    Busy(NodeId),
 }
 
 impl RpcError {
@@ -49,6 +55,9 @@ impl fmt::Display for RpcError {
             RpcError::NetTornDown(n) => {
                 write!(f, "transport to storage node {n} was torn down mid-call")
             }
+            RpcError::Busy(n) => {
+                write!(f, "storage node {n} is busy (request queue full)")
+            }
         }
     }
 }
@@ -69,6 +78,7 @@ mod tests {
         assert!(RpcError::UnknownNode(NodeId(9)).to_string().contains("s9"));
         assert!(RpcError::Timeout(NodeId(1)).to_string().contains("timed out"));
         assert!(RpcError::NetTornDown(NodeId(0)).to_string().contains("torn down"));
+        assert!(RpcError::Busy(NodeId(3)).to_string().contains("busy"));
     }
 
     #[test]
@@ -78,5 +88,7 @@ mod tests {
         assert!(!RpcError::NodeDown(NodeId(0)).is_indeterminate());
         assert!(!RpcError::ClientKilled.is_indeterminate());
         assert!(!RpcError::UnknownNode(NodeId(0)).is_indeterminate());
+        // Busy is shed *before* enqueue, so the request surely didn't run.
+        assert!(!RpcError::Busy(NodeId(0)).is_indeterminate());
     }
 }

@@ -9,8 +9,14 @@
 //!   paper's Fig. 9 exist here too.
 //! * [`ClientEndpoint`] — per-client connection with serial calls
 //!   ([`ClientEndpoint::call`]), parallel `pfor` fan-out
-//!   ([`ClientEndpoint::call_many`]), and link-layer multicast
-//!   ([`ClientEndpoint::broadcast`], §3.11).
+//!   ([`ClientEndpoint::call_many`]), link-layer multicast
+//!   ([`ClientEndpoint::broadcast`], §3.11), and a non-blocking
+//!   completion-queue path ([`ClientEndpoint::submit_call`] /
+//!   [`ClientEndpoint::poll_call`] over [`PendingCall`]) so one thread can
+//!   multiplex thousands of logical clients.
+//! * Reactor-style nodes — each node drains a *bounded* request queue
+//!   (full ⇒ [`RpcError::Busy`] backpressure) into per-stripe sharded
+//!   state, so requests for independent stripes never contend on a lock.
 //! * Fault injection — fail-stop node crashes ([`Network::crash_node`]),
 //!   directory-style remap to a fresh INIT node ([`Network::remap_node`],
 //!   §3.5), deterministic client kills ([`ClientEndpoint::kill_after`]),
@@ -47,5 +53,5 @@ mod stats;
 pub use bucket::TokenBucket;
 pub use error::RpcError;
 pub use fault::{FaultPlan, LinkFaults};
-pub use network::{ClientEndpoint, Network, NetworkConfig};
-pub use stats::{NetSnapshot, NetStats};
+pub use network::{ClientEndpoint, Network, NetworkConfig, PendingCall};
+pub use stats::{NetSnapshot, NetStats, LATENCY_BUCKETS};

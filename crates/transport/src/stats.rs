@@ -6,17 +6,57 @@
 //! and checks them against the table (see `fig1_comparison`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two microsecond buckets in the latency histogram:
+/// bucket `i` counts latencies in `[2^i, 2^(i+1)) µs`, with bucket 0 also
+/// absorbing sub-microsecond samples and the last bucket absorbing
+/// everything ≥ ~9 minutes. 40 buckets cover any latency this simulator
+/// can produce.
+pub const LATENCY_BUCKETS: usize = 40;
 
 /// Monotonic counters for traffic through one endpoint or one network.
 ///
-/// All methods are lock-free and callable from any thread.
-#[derive(Debug, Default)]
+/// All methods are lock-free and callable from any thread. Besides the
+/// Fig. 1 message/byte counters, the struct carries the scale-out
+/// instrumentation added for `ext_many_clients`: per-node in-flight
+/// gauges (requests accepted by a node queue but not yet answered) and a
+/// fixed-bucket operation-latency histogram from which p50/p99 are read
+/// without external tooling.
+#[derive(Debug)]
 pub struct NetStats {
     msgs_sent: AtomicU64,
     bytes_sent: AtomicU64,
     msgs_received: AtomicU64,
     bytes_received: AtomicU64,
     round_trips: AtomicU64,
+    /// Requests currently queued or executing, per node. Empty unless
+    /// built with [`NetStats::with_nodes`].
+    inflight: Vec<AtomicU64>,
+    /// High-water mark of each node's in-flight gauge.
+    inflight_peak: Vec<AtomicU64>,
+    /// Power-of-two-µs latency histogram (see [`LATENCY_BUCKETS`]).
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS],
+    latency_count: AtomicU64,
+    latency_sum_us: AtomicU64,
+}
+
+// Manual impl: `Default` is not derivable for arrays longer than 32.
+impl Default for NetStats {
+    fn default() -> Self {
+        NetStats {
+            msgs_sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            msgs_received: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            round_trips: AtomicU64::new(0),
+            inflight: Vec::new(),
+            inflight_peak: Vec::new(),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_count: AtomicU64::new(0),
+            latency_sum_us: AtomicU64::new(0),
+        }
+    }
 }
 
 /// A point-in-time copy of [`NetStats`], supporting subtraction to measure
@@ -39,6 +79,86 @@ impl NetStats {
     /// Fresh zeroed counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh counters with in-flight gauges for `n_nodes` nodes.
+    pub fn with_nodes(n_nodes: usize) -> Self {
+        NetStats {
+            inflight: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
+            inflight_peak: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Marks one more request in flight at node `node`.
+    pub fn inc_inflight(&self, node: usize) {
+        if let Some(g) = self.inflight.get(node) {
+            let now = g.fetch_add(1, Ordering::Relaxed) + 1;
+            self.inflight_peak[node].fetch_max(now, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks one request at node `node` as answered.
+    pub fn dec_inflight(&self, node: usize) {
+        if let Some(g) = self.inflight.get(node) {
+            g.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Requests currently in flight at node `node` (0 if untracked).
+    pub fn inflight(&self, node: usize) -> u64 {
+        self.inflight
+            .get(node)
+            .map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+
+    /// High-water mark of node `node`'s in-flight gauge.
+    pub fn inflight_peak(&self, node: usize) -> u64 {
+        self.inflight_peak
+            .get(node)
+            .map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+
+    /// Records one operation latency into the histogram.
+    pub fn record_latency(&self, latency: Duration) {
+        let us = latency.as_micros().max(1) as u64;
+        // ilog2 of a value in [2^i, 2^(i+1)) is i; clamp into range.
+        let bucket = (us.ilog2() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of latency samples recorded.
+    pub fn latency_samples(&self) -> u64 {
+        self.latency_count.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded latency, if any samples exist.
+    pub fn latency_mean(&self) -> Option<Duration> {
+        let n = self.latency_count.load(Ordering::Relaxed);
+        (n > 0).then(|| {
+            Duration::from_micros(self.latency_sum_us.load(Ordering::Relaxed) / n)
+        })
+    }
+
+    /// The latency at quantile `q` (e.g. 0.5, 0.99), reported as the upper
+    /// bound of the histogram bucket containing it — within 2x of the true
+    /// value by construction. `None` until a sample is recorded.
+    pub fn latency_percentile(&self, q: f64) -> Option<Duration> {
+        let total = self.latency_count.load(Ordering::Relaxed);
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.latency_buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(Duration::from_micros(1u64 << (i + 1)));
+            }
+        }
+        Some(Duration::from_micros(1u64 << LATENCY_BUCKETS))
     }
 
     /// Records an outbound message of `bytes`.
@@ -140,5 +260,44 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.snapshot().msgs_sent, 8000);
+    }
+
+    #[test]
+    fn inflight_gauges_track_per_node_with_peak() {
+        let s = NetStats::with_nodes(2);
+        s.inc_inflight(0);
+        s.inc_inflight(0);
+        s.inc_inflight(1);
+        assert_eq!(s.inflight(0), 2);
+        assert_eq!(s.inflight(1), 1);
+        s.dec_inflight(0);
+        assert_eq!(s.inflight(0), 1);
+        assert_eq!(s.inflight_peak(0), 2, "peak survives the decrement");
+        // Untracked nodes (or plain `new()` stats) are inert, not a panic.
+        s.inc_inflight(9);
+        assert_eq!(s.inflight(9), 0);
+    }
+
+    #[test]
+    fn latency_histogram_reports_percentiles_within_2x() {
+        let s = NetStats::new();
+        for _ in 0..99 {
+            s.record_latency(Duration::from_micros(100));
+        }
+        s.record_latency(Duration::from_millis(50));
+        assert_eq!(s.latency_samples(), 100);
+        // 100µs lands in bucket [64, 128)µs → reported as 128µs.
+        assert_eq!(s.latency_percentile(0.5), Some(Duration::from_micros(128)));
+        // p100 catches the 50ms outlier: bucket [32768, 65536)µs.
+        assert_eq!(s.latency_percentile(1.0), Some(Duration::from_micros(65536)));
+        let mean = s.latency_mean().unwrap();
+        assert!(mean >= Duration::from_micros(100) && mean <= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn latency_percentile_is_none_without_samples() {
+        let s = NetStats::new();
+        assert_eq!(s.latency_percentile(0.5), None);
+        assert_eq!(s.latency_mean(), None);
     }
 }

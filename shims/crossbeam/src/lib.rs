@@ -14,6 +14,9 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// Capacity enforced by [`Sender::try_send`] only; blocking `send`
+        /// never waits for space (see [`bounded`]).
+        cap: usize,
     }
 
     struct Shared<T> {
@@ -34,6 +37,15 @@ pub mod channel {
     /// The channel is empty and all senders are gone.
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Why a [`Sender::try_send`] did not enqueue the message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the message was *not* enqueued.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
 
     /// Why a [`Receiver::recv_timeout`] returned without a message.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,12 +68,13 @@ pub mod channel {
         }
     }
 
-    fn shared<T>() -> Arc<Shared<T>> {
+    fn shared<T>(cap: usize) -> Arc<Shared<T>> {
         Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                cap,
             }),
             ready: Condvar::new(),
         })
@@ -69,15 +82,19 @@ pub mod channel {
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let s = shared();
+        let s = shared(usize::MAX);
         (Sender(Arc::clone(&s)), Receiver(s))
     }
 
-    /// Creates a "bounded" channel. The shim does not enforce the capacity
-    /// (senders never block); every use in this workspace treats bounded
-    /// channels as one-shot reply slots, for which this is equivalent.
-    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
-        unbounded()
+    /// Creates a bounded channel. The capacity is enforced only by
+    /// [`Sender::try_send`] (which fails with [`TrySendError::Full`] at
+    /// capacity); blocking [`Sender::send`] never waits for space. Every
+    /// blocking-send use in this workspace treats bounded channels as
+    /// one-shot reply slots, for which this is equivalent; queues that need
+    /// backpressure admit through `try_send`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let s = shared(cap);
+        (Sender(Arc::clone(&s)), Receiver(s))
     }
 
     impl<T> Clone for Sender<T> {
@@ -124,6 +141,22 @@ pub mod channel {
             Ok(())
         }
 
+        /// Enqueues `msg` only if the channel is below capacity, failing
+        /// with [`TrySendError::Full`] otherwise. Never blocks.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.0.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if st.queue.len() >= st.cap {
+                return Err(TrySendError::Full(msg));
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+
         /// Number of queued messages.
         pub fn len(&self) -> usize {
             self.0.state.lock().unwrap().queue.len()
@@ -136,6 +169,13 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Whether every sender has been dropped. Once true, no further
+        /// message can arrive (a final [`Receiver::try_recv`] drains any
+        /// residue).
+        pub fn is_disconnected(&self) -> bool {
+            self.0.state.lock().unwrap().senders == 0
+        }
+
         /// Blocks until a message arrives or every sender is dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut st = self.0.state.lock().unwrap();
@@ -298,5 +338,39 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_send_enforces_capacity() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn try_send_on_unbounded_never_fills() {
+        let (tx, _rx) = unbounded::<u32>();
+        for i in 0..10_000 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(tx.len(), 10_000);
+    }
+
+    #[test]
+    fn is_disconnected_tracks_senders() {
+        let (tx, rx) = bounded::<u8>(4);
+        assert!(!rx.is_disconnected());
+        tx.send(7).unwrap();
+        drop(tx);
+        assert!(rx.is_disconnected());
+        // Residue is still drainable after disconnect.
+        assert_eq!(rx.try_recv(), Some(7));
+        assert_eq!(rx.try_recv(), None);
     }
 }

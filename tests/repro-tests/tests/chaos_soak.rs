@@ -142,6 +142,50 @@ fn rebuild_chaos_three_seeds_replay_identically() {
 }
 
 #[test]
+fn reactor_transport_three_seeds_replay_identically() {
+    // The reactor rework (DESIGN.md §9) put bounded MPSC queues and
+    // stripe-sharded state on every node. Determinism is part of its
+    // contract: with single-worker nodes, execution order equals
+    // submission order regardless of sharding, so a chaos schedule must
+    // replay byte-identical traces exactly as it did on the single-lock
+    // node. Three fresh seeds, each run twice, with the queue bound
+    // deliberately tiny (depth 4 — far below the default 1024, but above
+    // what one blocking client plus a duplicated request can occupy, so
+    // shedding never races the wall clock) and double the default shards.
+    for &seed in &[0x5CA1E0001u64, 0x5CA1E0002, 0x5CA1E0003] {
+        let cfg = soak_config(2, 4);
+        let opts = ChaosOptions {
+            seed,
+            n_clients: 2,
+            rounds: 16,
+            ops_per_round: 5,
+            blocks: 12,
+            read_pct: 60,
+            call_timeout: Duration::from_millis(30),
+            node_queue_depth: Some(4),
+            state_shards: 16,
+            ..ChaosOptions::default()
+        };
+        let a = run_chaos(cfg.clone(), &opts);
+        assert!(
+            a.violations.is_empty(),
+            "seed {seed:#x} must stay consistent on the reactor: {:?}",
+            a.violations
+        );
+        assert!(a.trace.len() > 10, "seed {seed:#x}: trace non-trivial");
+        let b = run_chaos(cfg, &opts);
+        assert_eq!(
+            a.trace, b.trace,
+            "seed {seed:#x}: reactor transport broke trace replay"
+        );
+        assert_eq!(a.ops_ok, b.ops_ok);
+        assert_eq!(a.writes_indeterminate, b.writes_indeterminate);
+        assert_eq!(a.reads_failed, b.reads_failed);
+        assert_eq!(a.history_len, b.history_len);
+    }
+}
+
+#[test]
 fn mid_rebuild_client_crash_hands_off_to_a_successor() {
     // One node crashes; readers keep hitting every block (served by the
     // lock-free degraded path while the stripe is broken); the client

@@ -2,9 +2,11 @@
 # Repo check entry point: release build, lint wall, full workspace test
 # suite, a seeded chaos smoke run, the GF(2^8) kernel backend matrix
 # (per-backend test runs + BENCH_kernels.json), the batched data-path
-# throughput smoke (BENCH_datapath.json), and the degraded-read/rebuild
+# throughput smoke (BENCH_datapath.json), the degraded-read/rebuild
 # smoke (BENCH_recovery.json — asserts the >=4x rebuild speedup and
-# zero-lock degraded reads internally).
+# zero-lock degraded reads internally), and the many-client scale-out
+# smoke (BENCH_scaleout.json — asserts 1k-client IOPS >= 5x the
+# 8-client figure with zero failed ops, both in-binary and here).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,3 +33,16 @@ echo "== degraded reads + rebuild engine (ext_rebuild --smoke) =="
 cargo run --release -p ajx-bench --bin ext_rebuild -- --smoke \
   > BENCH_recovery.json
 cat BENCH_recovery.json
+
+echo "== many-client scale-out (ext_many_clients --smoke) =="
+# The binary exits nonzero itself if the 5x floor or zero-failure
+# invariant is violated; the greps below re-assert from the artifact so
+# a stale or hand-edited BENCH_scaleout.json can't pass.
+cargo run --release -p ajx-bench --bin ext_many_clients -- --smoke \
+  > BENCH_scaleout.json
+cat BENCH_scaleout.json
+grep -q '"pass":true' BENCH_scaleout.json \
+  || { echo "scale-out floor violated (no passing verdict)"; exit 1; }
+! grep -q '"pass":false' BENCH_scaleout.json \
+  || { echo "scale-out floor violated"; exit 1; }
+echo "scale-out floor holds (1k clients >= 5x 8-client IOPS)"
