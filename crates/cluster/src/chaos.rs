@@ -78,6 +78,14 @@ pub struct ChaosOptions {
     pub node_queue_depth: Option<usize>,
     /// Stripe-state shards per node (see [`ajx_storage::ShardedNode`]).
     pub state_shards: usize,
+    /// Back every node with a write-ahead log (scratch directory, removed
+    /// when the run ends) and add [`NemesisEvent::RestartWithDisk`] to the
+    /// schedule. A crashed node then has two ways back: the repair crew
+    /// wipes and remaps it (rebuild from peers), or power returns and it
+    /// restarts **with its disk** — journal replayed, no rebuild needed
+    /// for anything it acked. The race between the two is part of the
+    /// deterministic schedule.
+    pub durable: bool,
 }
 
 impl Default for ChaosOptions {
@@ -106,6 +114,7 @@ impl Default for ChaosOptions {
             max_run: 1,
             node_queue_depth: Some(1024),
             state_shards: 8,
+            durable: false,
         }
     }
 }
@@ -125,6 +134,13 @@ pub enum NemesisEvent {
     HealPartitions,
     /// Add latency to every exchange with one node.
     Slowdown,
+    /// Power returns: restart a down node **with its disk** — journal
+    /// replayed instead of wipe-and-rebuild. Never part of the random
+    /// event table: in [`ChaosOptions::durable`] runs the round-boundary
+    /// repair crew draws it (seeded coin) against [`Remap`](Self::Remap)
+    /// for every node still down, so each crash races "power came back"
+    /// against "the crew wiped the disk".
+    RestartWithDisk,
 }
 
 const EVENTS: [NemesisEvent; 6] = [
@@ -183,6 +199,16 @@ pub fn run_chaos(cfg: ProtocolConfig, opts: &ChaosOptions) -> ChaosReport {
     // engine's chunk pool is serialized for the same reason.
     cfg.pipeline_width = 1;
     cfg.rebuild_width = 1;
+    if opts.durable {
+        // With journals behind the nodes, "wipe and remap" is a choice,
+        // not the only road back — auto-remap would make every crash an
+        // instant wipe and the RestartWithDisk arm unreachable. The
+        // repair crew acts only through explicit nemesis draws (Remap =
+        // wipe-and-rebuild, RestartWithDisk = power returned), so the
+        // race between them is part of the seeded schedule.
+        cfg.auto_remap = false;
+    }
+    let wal_dir = opts.durable.then(|| ajx_storage::scratch_dir_fast("chaos"));
     let cluster = Cluster::with_network(
         cfg.clone(),
         opts.n_clients,
@@ -193,6 +219,10 @@ pub fn run_chaos(cfg: ProtocolConfig, opts: &ChaosOptions) -> ChaosReport {
             call_timeout: Some(opts.call_timeout),
             node_queue_depth: opts.node_queue_depth,
             state_shards: opts.state_shards,
+            persist: match &wal_dir {
+                Some(dir) => ajx_storage::PersistMode::Wal { dir: dir.clone() },
+                None => ajx_storage::PersistMode::InMemory,
+            },
             ..NetworkConfig::default()
         },
     );
@@ -221,9 +251,27 @@ pub fn run_chaos(cfg: ProtocolConfig, opts: &ChaosOptions) -> ChaosReport {
     // failures are repaired faster than they accumulate (§3.10).
     let mut stranded: BTreeSet<u64> = BTreeSet::new();
     let mut touched: BTreeSet<u64> = BTreeSet::new();
+    // Durable mode: how many nodes were down at the last round boundary
+    // and are owed a repair-crew visit this round.
+    let mut repair_pending: usize = 0;
 
     for round in 0..opts.rounds {
         net.faults().note(format!("round {round}"));
+        // Durable mode has no auto-remap, so the repair crew must be
+        // prompt (§3.10's assumption that failures are repaired faster
+        // than they accumulate — seed scans confirm that letting a node
+        // stay down for many rounds stacks unreconcilable divergence).
+        // Every node that was still down at the previous round boundary
+        // gets repaired now; a seeded coin decides whether power returned
+        // (restart with the journal) or the crew wiped and remapped it.
+        for _ in 0..std::mem::take(&mut repair_pending) {
+            let ev = if splitmix64(&mut rng).is_multiple_of(2) {
+                NemesisEvent::RestartWithDisk
+            } else {
+                NemesisEvent::Remap
+            };
+            apply_nemesis(&cluster, ev, &mut rng, &mut wounded, &stranded, n, k);
+        }
         if chance(&mut rng, opts.nemesis_p) {
             let ev = EVENTS[(splitmix64(&mut rng) % EVENTS.len() as u64) as usize];
             let applied =
@@ -395,6 +443,11 @@ pub fn run_chaos(cfg: ProtocolConfig, opts: &ChaosOptions) -> ChaosReport {
                 stranded.clear();
             }
         }
+        if opts.durable {
+            repair_pending = (0..n as u32)
+                .filter(|&t| !net.node_is_up(NodeId(t)))
+                .count();
+        }
     }
 
     // Repair epilogue: heal the network, resurrect anything still down,
@@ -448,6 +501,9 @@ pub fn run_chaos(cfg: ProtocolConfig, opts: &ChaosOptions) -> ChaosReport {
         report.violations.push(v.to_string());
     }
     report.trace = net.faults().take_trace();
+    if let Some(dir) = wal_dir {
+        std::fs::remove_dir_all(dir).ok();
+    }
     report
 }
 
@@ -518,6 +574,23 @@ fn apply_nemesis(
             net.faults().set_node_slowdown(NodeId(s), Duration::from_micros(100));
             true
         }
+        NemesisEvent::RestartWithDisk => {
+            let Some(down) = (0..n as u32).find(|&t| !net.node_is_up(NodeId(t))) else {
+                return false;
+            };
+            if !cluster.restart_storage_node_with_disk(NodeId(down)) {
+                // No journal behind this node (durable off, or empty log).
+                return false;
+            }
+            net.faults().note(format!("nemesis restart-with-disk s{down}"));
+            // Under write-through commits the journal holds everything the
+            // node ever acked, so it is back as if the crash never
+            // happened — no longer wounded. In-flight writes at crash time
+            // failed indeterminately at their clients and stay covered by
+            // the stranded-stripe repair duty.
+            wounded.remove(&down);
+            true
+        }
     }
 }
 
@@ -565,6 +638,36 @@ mod tests {
         assert_eq!(
             a.trace, b.trace,
             "batched ops must not break trace determinism"
+        );
+        assert_eq!(a.ops_ok, b.ops_ok);
+    }
+
+    #[test]
+    fn durable_chaos_run_passes_and_reproduces() {
+        let cfg = ProtocolConfig::new(2, 4, 16).unwrap();
+        // Seed 5 is chosen so the schedule crashes a node and the repair
+        // crew draws the restart-with-disk arm. WAL fsyncs put real disk
+        // I/O on the reply path, so under a fully loaded test run a node
+        // can stall well past quick_opts' 30 ms deadline — give the
+        // trace-equality contract a much wider timeout margin.
+        let opts = ChaosOptions {
+            durable: true,
+            rounds: 10,
+            seed: 5,
+            call_timeout: Duration::from_millis(100),
+            ..quick_opts()
+        };
+        let a = run_chaos(cfg.clone(), &opts);
+        assert!(a.violations.is_empty(), "violations: {:?}", a.violations);
+        assert!(a.ops_ok > 0);
+        assert!(
+            a.trace.iter().any(|l| l.contains("restart-with-disk")),
+            "pinned seed must exercise the restart-with-disk arm"
+        );
+        let b = run_chaos(cfg, &opts);
+        assert_eq!(
+            a.trace, b.trace,
+            "journaled nodes must not break trace determinism"
         );
         assert_eq!(a.ops_ok, b.ops_ok);
     }

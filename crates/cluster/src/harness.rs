@@ -67,6 +67,7 @@ impl Cluster {
                 flush_policy,
                 node_queue_depth: Some(1024),
                 state_shards: 8,
+                persist: ajx_storage::PersistMode::InMemory,
             },
         )
     }
@@ -91,6 +92,18 @@ impl Cluster {
     pub fn total_media_writes(&self) -> u64 {
         (0..self.cfg.n())
             .map(|t| self.net.with_node(NodeId(t as u32), |sn| sn.media_writes()))
+            .sum()
+    }
+
+    /// Total journal fsyncs charged across all storage nodes (the
+    /// DESIGN.md §10 group-commit accounting; always zero on in-memory
+    /// backends).
+    pub fn total_journal_fsyncs(&self) -> u64 {
+        (0..self.cfg.n())
+            .map(|t| {
+                self.net
+                    .with_node(NodeId(t as u32), |sn| sn.persist_stats().fsyncs)
+            })
             .sum()
     }
 
@@ -139,6 +152,14 @@ impl Cluster {
     /// (§3.5 directory remap).
     pub fn remap_storage_node(&self, node: NodeId) {
         self.net.remap_node(node, self.cfg.remap_garbage);
+    }
+
+    /// Restarts a crashed node from its durable state (restart-with-disk,
+    /// DESIGN.md §10). Returns `false` — the node stays down — if it has
+    /// no durable backend; wipe-and-rebuild via
+    /// [`Cluster::remap_storage_node`] is then the only way back.
+    pub fn restart_storage_node_with_disk(&self, node: NodeId) -> bool {
+        self.net.restart_node_with_disk(node)
     }
 
     /// Kills client `idx` after `calls` more RPCs and — once it is dead —

@@ -37,8 +37,10 @@
 
 mod chaos;
 mod harness;
+mod powerloss;
 mod workload;
 
 pub use chaos::{run_chaos, ChaosOptions, ChaosReport, NemesisEvent};
 pub use harness::Cluster;
+pub use powerloss::{run_power_loss, PowerLossOptions, PowerLossReport};
 pub use workload::{drive, DriveReport, Workload};

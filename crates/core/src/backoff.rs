@@ -41,6 +41,15 @@ pub struct BackoffPolicy {
     /// ([`ajx_transport::RpcError::is_indeterminate`]) is re-sent before
     /// the error is surfaced to the protocol layer.
     pub rpc_retry_budget: u32,
+    /// How many [`ajx_transport::RpcError::Busy`] sheds a single
+    /// *operation* absorbs in the multiplexed driver's park-and-resubmit
+    /// loop before the operation is abandoned with a determinate failure.
+    /// (The blocking RPC path charges `Busy` against
+    /// [`rpc_retry_budget`](Self::rpc_retry_budget) instead.) Generous by
+    /// default — backpressure under load is normal and shed requests were
+    /// never executed — but finite, so a client pinned against a
+    /// permanently saturated node terminates instead of spinning forever.
+    pub busy_retry_budget: u32,
 }
 
 impl Default for BackoffPolicy {
@@ -53,6 +62,7 @@ impl Default for BackoffPolicy {
             multiplier: 2,
             jitter: Jitter::Decorrelated,
             rpc_retry_budget: 3,
+            busy_retry_budget: 1024,
         }
     }
 }
@@ -67,6 +77,7 @@ impl BackoffPolicy {
             multiplier: 1,
             jitter: Jitter::None,
             rpc_retry_budget: 0,
+            busy_retry_budget: 0,
         }
     }
 
@@ -154,6 +165,7 @@ mod tests {
             multiplier: 2,
             jitter,
             rpc_retry_budget: 3,
+            busy_retry_budget: 8,
         }
     }
 

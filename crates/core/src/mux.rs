@@ -68,6 +68,11 @@ pub struct MuxReport {
     pub failed_ops: u64,
     /// `Busy` rejections absorbed by backoff-and-resubmit.
     pub busy_shed: u64,
+    /// Operations abandoned because they exhausted the per-operation
+    /// [`crate::BackoffPolicy::busy_retry_budget`] (a subset of
+    /// [`failed_ops`](Self::failed_ops)) — the determinate "node is
+    /// permanently saturated" signal.
+    pub busy_exhausted: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Operation-level latency histogram (p50/p99 via
@@ -124,6 +129,10 @@ struct LogicalClient {
     backoff: BackoffSession,
     op_started: Instant,
     value: Vec<u8>,
+    /// `Busy` sheds the current operation may still absorb before it is
+    /// abandoned as determinately failed. Refilled from
+    /// [`crate::BackoffPolicy::busy_retry_budget`] at each op start.
+    busy_left: u32,
 }
 
 impl LogicalClient {
@@ -171,6 +180,7 @@ pub fn run_mux_workload(
     let completed = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
     let busy = AtomicU64::new(0);
+    let exhausted = AtomicU64::new(0);
 
     let mut fleet: Vec<LogicalClient> = (0..opts.clients)
         .map(|c| {
@@ -184,6 +194,7 @@ pub fn run_mux_workload(
                 backoff: cfg.backoff.session(0xDEAD_BEEF ^ (c as u64) << 8),
                 op_started: Instant::now(),
                 value: Vec::new(),
+                busy_left: cfg.backoff.busy_retry_budget,
             }
         })
         .collect();
@@ -194,14 +205,17 @@ pub fn run_mux_workload(
     std::thread::scope(|s| {
         for slice in fleet.chunks_mut(chunk) {
             let op_stats = Arc::clone(&op_stats);
-            let (completed, failed, busy) = (&completed, &failed, &busy);
+            let (completed, failed, busy, exhausted) =
+                (&completed, &failed, &busy, &exhausted);
             s.spawn(move || {
                 let mut live = slice.len();
                 while live > 0 {
                     let mut progressed = false;
                     live = 0;
                     for client in slice.iter_mut() {
-                        match step(client, cfg, opts, &op_stats, completed, failed, busy) {
+                        match step(
+                            client, cfg, opts, &op_stats, completed, failed, busy, exhausted,
+                        ) {
                             Step::Progress => {
                                 progressed = true;
                                 live += 1;
@@ -223,12 +237,14 @@ pub fn run_mux_workload(
         completed_ops: completed.into_inner(),
         failed_ops: failed.into_inner(),
         busy_shed: busy.into_inner(),
+        busy_exhausted: exhausted.into_inner(),
         elapsed: started.elapsed(),
         op_stats,
     }
 }
 
 /// Advances one client's state machine by at most one transition.
+#[allow(clippy::too_many_arguments)]
 fn step(
     c: &mut LogicalClient,
     cfg: &ProtocolConfig,
@@ -237,6 +253,7 @@ fn step(
     completed: &AtomicU64,
     failed: &AtomicU64,
     busy: &AtomicU64,
+    exhausted: &AtomicU64,
 ) -> Step {
     let now = Instant::now();
     match &mut c.phase {
@@ -269,10 +286,16 @@ fn step(
             }
             Some(Err(RpcError::Busy(_))) => {
                 busy.fetch_add(1, Ordering::Relaxed);
-                c.phase = Phase::Parked {
-                    at: now + c.backoff.next_delay(),
-                    read: true,
-                };
+                if c.busy_left == 0 {
+                    exhausted.fetch_add(1, Ordering::Relaxed);
+                    abandon_op(c, failed);
+                } else {
+                    c.busy_left -= 1;
+                    c.phase = Phase::Parked {
+                        at: now + c.backoff.next_delay(),
+                        read: true,
+                    };
+                }
                 Step::Progress
             }
             Some(Err(_)) => {
@@ -325,10 +348,16 @@ fn step(
             }
             Some(Err(RpcError::Busy(_))) => {
                 busy.fetch_add(1, Ordering::Relaxed);
-                c.phase = Phase::Parked {
-                    at: now + c.backoff.next_delay(),
-                    read: false,
-                };
+                if c.busy_left == 0 {
+                    exhausted.fetch_add(1, Ordering::Relaxed);
+                    abandon_op(c, failed);
+                } else {
+                    c.busy_left -= 1;
+                    c.phase = Phase::Parked {
+                        at: now + c.backoff.next_delay(),
+                        read: false,
+                    };
+                }
                 Step::Progress
             }
             Some(Err(_)) => {
@@ -342,6 +371,7 @@ fn step(
             let mut all_done = true;
             let mut park: Vec<usize> = Vec::new();
             let mut fail = false;
+            let mut budget_gone = false;
             for (idx, slot) in slots.iter_mut().enumerate() {
                 match slot {
                     AddSlot::Done => {}
@@ -368,11 +398,19 @@ fn step(
                         }
                         Some(Err(RpcError::Busy(_))) => {
                             busy.fetch_add(1, Ordering::Relaxed);
-                            all_done = false;
-                            progressed = true;
-                            *slot = AddSlot::Parked {
-                                at: now + c.backoff.next_delay(),
-                            };
+                            if c.busy_left == 0 {
+                                // The op's shared budget is gone; no point
+                                // nursing the remaining slots along.
+                                fail = true;
+                                budget_gone = true;
+                            } else {
+                                c.busy_left -= 1;
+                                all_done = false;
+                                progressed = true;
+                                *slot = AddSlot::Parked {
+                                    at: now + c.backoff.next_delay(),
+                                };
+                            }
                         }
                         Some(Ok(_)) | Some(Err(_)) => {
                             fail = true;
@@ -381,6 +419,9 @@ fn step(
                 }
             }
             if fail {
+                if budget_gone {
+                    exhausted.fetch_add(1, Ordering::Relaxed);
+                }
                 abandon_op(c, failed);
                 return Step::Progress;
             }
@@ -404,6 +445,7 @@ fn step(
 /// Starts the next operation: draws the op kind, builds the payload for
 /// writes, and issues the first RPC.
 fn issue_op(c: &mut LogicalClient, cfg: &ProtocolConfig, opts: &MuxOptions) {
+    c.busy_left = cfg.backoff.busy_retry_budget;
     let read = c.is_read(opts);
     if !read {
         c.seq += 1;
@@ -553,6 +595,61 @@ mod tests {
         let report = run_mux_workload(&net, &cfg, &opts);
         assert_eq!(report.completed_ops, 32 * 10);
         assert_eq!(report.failed_ops, 0);
+    }
+
+    #[test]
+    fn saturated_cluster_exhausts_busy_budget_and_terminates() {
+        // Every node paused with its queue stuffed full: each fleet RPC is
+        // shed with `Busy` forever. Before the budget existed this loop
+        // parked and resubmitted without bound — the run never terminated.
+        // Now each op absorbs `busy_retry_budget` sheds and then fails
+        // determinately.
+        let mut cfg = cfg_4_8(32);
+        cfg.backoff.base = Duration::ZERO; // parks expire immediately
+        cfg.backoff.busy_retry_budget = 4;
+        let net = net_for(&cfg, |nc| {
+            nc.server_threads = 1;
+            nc.node_queue_depth = Some(1);
+        });
+        let filler = net.client(ClientId(999));
+        for t in 0..cfg.n() {
+            net.pause_node(NodeId(t as u32));
+        }
+        // Depth 1 plus the job the parked worker already pulled: two
+        // submissions saturate a node, the third is shed. Wait for the
+        // worker to pull the first before queueing the second, or a fleet
+        // request could sneak into the queue and hang the run.
+        let mut _held: Vec<_> = Vec::new();
+        for t in 0..cfg.n() {
+            let node = NodeId(t as u32);
+            _held.push(filler.submit_call(node, Request::Read { stripe: StripeId(0) }));
+            while net.node_queue_len(node) > 0 {
+                std::thread::yield_now();
+            }
+            _held.push(filler.submit_call(node, Request::Read { stripe: StripeId(0) }));
+            assert_eq!(net.node_queue_len(node), 1, "queue at capacity");
+        }
+        let opts = MuxOptions {
+            clients: 4,
+            ops_per_client: 3,
+            read_pct: 100,
+            stripes_per_client: 2,
+            driver_threads: 1,
+        };
+        let report = run_mux_workload(&net, &cfg, &opts);
+        assert_eq!(report.completed_ops, 0);
+        assert_eq!(report.failed_ops, 4 * 3, "every op must fail determinately");
+        assert_eq!(
+            report.busy_exhausted, 4 * 3,
+            "every failure must be a budget exhaustion"
+        );
+        assert!(
+            report.busy_shed >= report.busy_exhausted * 4,
+            "each op must absorb its full budget before giving up"
+        );
+        for t in 0..cfg.n() {
+            net.resume_node(NodeId(t as u32));
+        }
     }
 
     #[test]

@@ -12,6 +12,17 @@
 //! bounded, so a burst cannot pin memory forever. Buffers of any size are
 //! accepted; `take` reuses capacity via `clear` + `resize`, which also
 //! zero-fills — callers get the same all-zeroes contract as `vec![0; n]`.
+//!
+//! **Stale-byte audit.** A recycled buffer's spare capacity keeps the
+//! previous user's bytes, so the zeroing discipline in [`take`] is the
+//! only thing standing between the pool and cross-request data leaks:
+//! `clear()` drops the logical length to zero and `resize(len, 0)` writes
+//! a fresh zero into *every* byte of the new length, whether the buffer
+//! grew or shrank. Stale bytes survive only past `len`, where safe code
+//! cannot read them (`set_len` is `unsafe`, and nothing in this workspace
+//! touches it). The regression tests below pin both directions — shrink
+//! (old bytes beyond the new length) and grow (the region between the old
+//! and new lengths, which `resize` must cover).
 
 use std::cell::RefCell;
 
@@ -74,6 +85,32 @@ mod tests {
         assert_eq!(again.capacity(), cap);
         assert!(again.iter().all(|&b| b == 0), "reused buffer is zeroed");
         assert_eq!(again.len(), 16);
+    }
+
+    #[test]
+    fn shrinking_take_never_leaks_stale_bytes() {
+        let mut big = take(64);
+        big.iter_mut().for_each(|b| *b = 0xA5);
+        give(big);
+        // Whichever pooled buffer pops, its dirty history must be invisible.
+        let small = take(16);
+        assert_eq!(small.len(), 16);
+        assert!(small.iter().all(|&b| b == 0), "stale bytes in shrunk buffer");
+    }
+
+    #[test]
+    fn growing_take_zeroes_past_the_old_logical_length() {
+        let mut short = take(8);
+        short.iter_mut().for_each(|b| *b = 0x5A);
+        give(short);
+        // The grown view covers bytes the previous user never touched and
+        // bytes it dirtied; both regions must read zero.
+        let grown = take(48);
+        assert_eq!(grown.len(), 48);
+        assert!(
+            grown.iter().all(|&b| b == 0),
+            "stale bytes past the old logical length"
+        );
     }
 
     #[test]

@@ -196,6 +196,7 @@ mod tests {
             multiplier: 2,
             jitter: crate::backoff::Jitter::None,
             rpc_retry_budget: budget,
+            busy_retry_budget: budget,
         };
         let net = Network::new(NetworkConfig {
             n_nodes: 4,
@@ -291,6 +292,7 @@ mod tests {
             multiplier: 2,
             jitter: crate::backoff::Jitter::None,
             rpc_retry_budget: 3,
+            busy_retry_budget: 3,
         };
         let net = Network::new(NetworkConfig {
             n_nodes: 4,

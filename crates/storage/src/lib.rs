@@ -40,11 +40,16 @@
 #![warn(missing_docs)]
 
 mod node;
+mod persist;
 mod shard;
 mod state;
 mod types;
 
 pub use node::{FlushPolicy, Reply, Request, StorageNode, MSG_HEADER_BYTES};
+pub use persist::{
+    backend_for, scratch_dir, scratch_dir_fast, InMemoryPersistence, PersistMode, PersistStats, Persistence,
+    WalBackend, WalRecord, WalRecordRef,
+};
 pub use shard::{NodeView, ShardedNode};
 pub use state::{
     AddReply, AddStatus, BlockState, CheckTidReply, GetStateReply, ReadReply, SwapReply,

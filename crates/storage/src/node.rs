@@ -528,6 +528,18 @@ impl StorageNode {
             .sum()
     }
 
+    /// Resets the node to power-on state: blocks, dirty marker, remap
+    /// garbage, and counters all cleared; identity, code, and flush policy
+    /// kept. WAL replay rebuilds state on top of this (restart-with-disk).
+    pub(crate) fn reset(&mut self) {
+        self.blocks.clear();
+        self.dirty = None;
+        self.media_writes = 0;
+        self.ops_handled = 0;
+        self.lock_ops = 0;
+        self.remap_garbage = None;
+    }
+
     /// Direct access to a stripe-block's state (tests and monitoring only).
     pub fn block_state(&self, stripe: StripeId) -> Option<&BlockState> {
         self.blocks.get(&stripe)

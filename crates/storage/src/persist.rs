@@ -1,0 +1,900 @@
+//! Pluggable node persistence: the in-memory backend and a crash-safe
+//! write-ahead log (DESIGN.md §10).
+//!
+//! The paper's protocol is safe only if a node that answers a request can
+//! be trusted to still *know* about it after a restart — the recentlist,
+//! epoch, lock mode, and reconstruction set are what §4's recovery
+//! reasoning leans on, not just the block payload. [`Persistence`]
+//! abstracts that durability contract behind the node:
+//!
+//! * [`InMemoryPersistence`] — the original node: nothing survives, a
+//!   restart is indistinguishable from data loss (full rebuild required).
+//! * [`WalBackend`] — a file-backed write-ahead log that journals every
+//!   state-mutating request (payload *and* protocol metadata, since the
+//!   node state machine is deterministic) and replays it on restart.
+//!
+//! The WAL is a **logical request log**: rather than serializing the
+//! per-stripe [`BlockState`](crate::BlockState) maps, it records the
+//! requests (and node-side events: client-failure expiry, fail-remap)
+//! that produced them, in shard-conflict order. Replaying the log through
+//! a fresh node reproduces every durable fact — block bytes, recentlist /
+//! oldlist, epoch, op/lock modes, recons_set, swap-reply dedup state —
+//! because the node is a pure state machine. Read-only requests (`read`,
+//! `get_state`, `probe`, `checktid`) advance only the node's logical
+//! clock and are not journaled; the clock is monitoring state, not
+//! protocol state.
+//!
+//! Group commit: appends are buffered in memory while shard locks are
+//! held; [`Persistence::commit`] writes and fsyncs the whole buffer once
+//! per node round trip, so an m-operation batch costs one fsync, the same
+//! shape as the §3.11 one-round-trip batching.
+//!
+//! Power-loss testing: [`Persistence::power_fail_at`] arms a byte offset
+//! at which the *next* commit tears — everything before the offset
+//! reaches the medium, everything after (possibly mid-record) is lost,
+//! and the backend refuses further work, exactly like a machine losing
+//! power mid-write. Replay detects the torn tail by CRC and truncates to
+//! the last complete record.
+
+use crate::node::Request;
+use crate::types::{ClientId, Epoch, LMode, StripeId, Tid};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which persistence backend a node (or a whole network of nodes) uses.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum PersistMode {
+    /// Pure in-memory node: restarts lose everything (the original
+    /// behavior, and still the default).
+    #[default]
+    InMemory,
+    /// Write-ahead-logged nodes: each node journals to
+    /// `<dir>/node-<id>.wal` and can be restarted with its disk.
+    Wal {
+        /// Directory holding one WAL file per node.
+        dir: PathBuf,
+    },
+}
+
+/// One durable event in the journal. `Apply` covers every state-mutating
+/// request (batches are one record: they execute atomically, so they must
+/// recover atomically); the other two are node-side events that mutate
+/// protocol state without a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A state-mutating [`Request`] the node executed.
+    Apply(Request),
+    /// Fail-stop detector notification: expire this client's recovery
+    /// locks (Fig. 6 line 34).
+    ClientFailure(ClientId),
+    /// §3.5 directory remap onto a fresh (garbage) disk. Always the first
+    /// record of a journal: remap replaces the medium, so the WAL is
+    /// truncated before this is written.
+    FailRemap(u8),
+}
+
+/// Borrowed form of [`WalRecord`] for the append path, so journaling a
+/// request costs no clone (the in-memory backend drops it untouched).
+#[derive(Debug, Clone, Copy)]
+pub enum WalRecordRef<'a> {
+    /// See [`WalRecord::Apply`].
+    Apply(&'a Request),
+    /// See [`WalRecord::ClientFailure`].
+    ClientFailure(ClientId),
+    /// See [`WalRecord::FailRemap`].
+    FailRemap(u8),
+}
+
+/// Counters a backend exposes for the durability bench and tooling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// Commits that reached the medium (fsyncs issued).
+    pub fsyncs: u64,
+    /// Records appended since creation (including uncommitted ones).
+    pub records: u64,
+    /// Bytes currently durable on the medium.
+    pub durable_bytes: u64,
+}
+
+/// The durability contract behind a storage node. All methods take
+/// `&self`: the backend is shared by the node's worker threads and does
+/// its own locking.
+pub trait Persistence: Send + Sync + std::fmt::Debug {
+    /// Whether a restart can recover state from this backend. `false`
+    /// means "restart-with-disk" degenerates to "wipe-and-rebuild".
+    fn is_durable(&self) -> bool;
+
+    /// Journals one record. Called while the shard locks covering the
+    /// record's stripes are held, so the journal order is a valid
+    /// linearization of the node's execution order.
+    fn append(&self, rec: WalRecordRef<'_>);
+
+    /// Flushes buffered records to the medium (one fsync — group commit).
+    /// Returns `false` if the backend has power-failed: the caller must
+    /// treat every acknowledgement covered by this commit as lost.
+    fn commit(&self) -> bool;
+
+    /// Whether an armed power failure has tripped (the node is "off").
+    fn tripped(&self) -> bool;
+
+    /// Arms a simulated power failure: the commit that would push the
+    /// durable length past `offset` bytes tears there instead.
+    fn power_fail_at(&self, offset: u64);
+
+    /// Reads the journal back, truncating any torn tail, and clears the
+    /// tripped state (the machine rebooted). `None` = nothing durable
+    /// here (in-memory backend).
+    fn replay(&self) -> Option<Vec<WalRecord>>;
+
+    /// Discards the journal (the medium was replaced — §3.5 remap).
+    /// Also clears any armed/tripped power-failure state.
+    fn truncate(&self);
+
+    /// Durability counters for benches and tooling.
+    fn stats(&self) -> PersistStats;
+}
+
+/// The no-op backend: the original pure in-memory node.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InMemoryPersistence;
+
+impl Persistence for InMemoryPersistence {
+    fn is_durable(&self) -> bool {
+        false
+    }
+    fn append(&self, _rec: WalRecordRef<'_>) {}
+    fn commit(&self) -> bool {
+        true
+    }
+    fn tripped(&self) -> bool {
+        false
+    }
+    fn power_fail_at(&self, _offset: u64) {}
+    fn replay(&self) -> Option<Vec<WalRecord>> {
+        None
+    }
+    fn truncate(&self) {}
+    fn stats(&self) -> PersistStats {
+        PersistStats::default()
+    }
+}
+
+/// File-backed write-ahead log. Records are framed
+/// `[len: u32][crc32: u32][payload]`, little-endian, CRC over the
+/// payload; replay stops at the first frame that is incomplete or fails
+/// its CRC and truncates the file there (torn-tail recovery).
+#[derive(Debug)]
+pub struct WalBackend {
+    path: PathBuf,
+    inner: Mutex<WalInner>,
+}
+
+#[derive(Debug)]
+struct WalInner {
+    file: File,
+    /// Appended-but-uncommitted frames (group-commit buffer).
+    buf: Vec<u8>,
+    /// Bytes known durable on the medium.
+    durable_len: u64,
+    /// Armed power-failure byte offset, if any.
+    armed: Option<u64>,
+    /// A power failure tripped; the node is off until `replay`.
+    tripped: bool,
+    fsyncs: u64,
+    records: u64,
+}
+
+impl WalBackend {
+    /// Creates (truncating) the journal at `path` — a fresh disk.
+    pub fn create(path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create WAL directory");
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .expect("create WAL file");
+        WalBackend {
+            path,
+            inner: Mutex::new(WalInner {
+                file,
+                buf: Vec::new(),
+                durable_len: 0,
+                armed: None,
+                tripped: false,
+                fsyncs: 0,
+                records: 0,
+            }),
+        }
+    }
+
+    /// The journal's path on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Persistence for WalBackend {
+    fn is_durable(&self) -> bool {
+        true
+    }
+
+    fn append(&self, rec: WalRecordRef<'_>) {
+        let mut inner = self.inner.lock();
+        if inner.tripped {
+            // The machine is off: nothing further reaches the journal.
+            return;
+        }
+        let payload = encode_record(rec);
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        inner.buf.extend_from_slice(&frame);
+        inner.records += 1;
+    }
+
+    fn commit(&self) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.tripped {
+            return false;
+        }
+        if inner.buf.is_empty() {
+            // Nothing mutated since the last commit: no fsync charged —
+            // reads are free on the write-ahead path.
+            return true;
+        }
+        let pending = std::mem::take(&mut inner.buf);
+        if let Some(offset) = inner.armed {
+            let end = inner.durable_len + pending.len() as u64;
+            if end >= offset {
+                // Power dies mid-write: bytes before the armed offset
+                // land (unsynced writes often do), the rest — possibly a
+                // torn half-record — never reaches the platter, and the
+                // machine is off.
+                let keep = (offset.saturating_sub(inner.durable_len)) as usize;
+                inner
+                    .file
+                    .write_all(&pending[..keep.min(pending.len())])
+                    .expect("WAL torn write");
+                let _ = inner.file.flush();
+                inner.tripped = true;
+                inner.armed = None;
+                return false;
+            }
+        }
+        inner.file.write_all(&pending).expect("WAL append");
+        inner.file.sync_data().expect("WAL fsync");
+        inner.durable_len += pending.len() as u64;
+        inner.fsyncs += 1;
+        true
+    }
+
+    fn tripped(&self) -> bool {
+        self.inner.lock().tripped
+    }
+
+    fn power_fail_at(&self, offset: u64) {
+        self.inner.lock().armed = Some(offset);
+    }
+
+    fn replay(&self) -> Option<Vec<WalRecord>> {
+        let mut inner = self.inner.lock();
+        inner.buf.clear();
+        inner.file.seek(SeekFrom::Start(0)).expect("WAL seek");
+        let mut bytes = Vec::new();
+        inner.file.read_to_end(&mut bytes).expect("WAL read");
+        let mut records = Vec::new();
+        let mut at = 0usize;
+        while bytes.len() - at >= 8 {
+            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+            if bytes.len() - at - 8 < len {
+                break; // torn tail: frame length never landed in full
+            }
+            let payload = &bytes[at + 8..at + 8 + len];
+            if crc32(payload) != crc {
+                break; // torn or corrupt frame
+            }
+            let Some(rec) = decode_record(payload) else {
+                break; // CRC-valid but undecodable: treat as end of log
+            };
+            records.push(rec);
+            at += 8 + len;
+        }
+        // Truncate the torn tail so future appends extend a clean log.
+        inner.file.set_len(at as u64).expect("WAL truncate");
+        inner.file.seek(SeekFrom::End(0)).expect("WAL seek");
+        inner.durable_len = at as u64;
+        inner.records = records.len() as u64;
+        inner.tripped = false;
+        inner.armed = None;
+        Some(records)
+    }
+
+    fn truncate(&self) {
+        let mut inner = self.inner.lock();
+        inner.file.set_len(0).expect("WAL truncate");
+        inner.file.seek(SeekFrom::Start(0)).expect("WAL seek");
+        inner.file.sync_data().expect("WAL fsync");
+        inner.buf.clear();
+        inner.durable_len = 0;
+        inner.records = 0;
+        inner.tripped = false;
+        inner.armed = None;
+    }
+
+    fn stats(&self) -> PersistStats {
+        let inner = self.inner.lock();
+        PersistStats {
+            fsyncs: inner.fsyncs,
+            records: inner.records,
+            durable_bytes: inner.durable_len,
+        }
+    }
+}
+
+/// A fresh per-process scratch directory under the system temp dir, for
+/// WAL-backed tests, simulators, and benches. The caller owns cleanup.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    scratch_under(std::env::temp_dir(), tag)
+}
+
+/// Like [`scratch_dir`], but prefers the RAM-backed `/dev/shm` when the
+/// platform provides one. Deterministic-trace tests (chaos, power loss)
+/// compare event streams across runs, and a journal fsync stalling on a
+/// physical disk that is busy with unrelated work would make reply
+/// timing — and therefore timeout-vs-reply races — depend on machine
+/// load. Benches measuring real fsync cost must keep [`scratch_dir`].
+pub fn scratch_dir_fast(tag: &str) -> PathBuf {
+    let shm = Path::new("/dev/shm");
+    if shm.is_dir() {
+        scratch_under(shm.to_path_buf(), tag)
+    } else {
+        scratch_dir(tag)
+    }
+}
+
+fn scratch_under(base: PathBuf, tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = base.join(format!(
+        "ajx-wal-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Wraps `mode` into a backend for node `node_id`. Returns the default
+/// in-memory backend unless `mode` selects the WAL.
+pub fn backend_for(mode: &PersistMode, node_id: u32) -> Arc<dyn Persistence> {
+    match mode {
+        PersistMode::InMemory => Arc::new(InMemoryPersistence),
+        PersistMode::Wal { dir } => {
+            Arc::new(WalBackend::create(dir.join(format!("node-{node_id}.wal"))))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, the zlib polynomial), table built at compile time.
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = (c >> 8) ^ CRC_TABLE[((c ^ b as u32) & 0xFF) as usize];
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Record codec: hand-rolled little-endian binary (the workspace's serde is
+// an offline derive shim with no wire format, so the WAL brings its own).
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_u32(out, v.len() as u32);
+    out.extend_from_slice(v);
+}
+
+fn put_tid(out: &mut Vec<u8>, t: &Tid) {
+    put_u64(out, t.seq);
+    put_u64(out, t.block as u64);
+    put_u32(out, t.client.0);
+}
+
+fn put_opt_tid(out: &mut Vec<u8>, t: &Option<Tid>) {
+    match t {
+        None => out.push(0),
+        Some(t) => {
+            out.push(1);
+            put_tid(out, t);
+        }
+    }
+}
+
+fn lmode_tag(lm: LMode) -> u8 {
+    match lm {
+        LMode::Unl => 0,
+        LMode::L0 => 1,
+        LMode::L1 => 2,
+        LMode::Exp => 3,
+    }
+}
+
+fn encode_request(out: &mut Vec<u8>, req: &Request) {
+    match req {
+        Request::Read { stripe } => {
+            out.push(0);
+            put_u64(out, stripe.0);
+        }
+        Request::Swap { stripe, value, ntid } => {
+            out.push(1);
+            put_u64(out, stripe.0);
+            put_bytes(out, value);
+            put_tid(out, ntid);
+        }
+        Request::Add { stripe, delta, ntid, otid, epoch, scale } => {
+            out.push(2);
+            put_u64(out, stripe.0);
+            put_bytes(out, delta);
+            put_tid(out, ntid);
+            put_opt_tid(out, otid);
+            put_u64(out, epoch.0);
+            match scale {
+                None => out.push(0),
+                Some((j, i)) => {
+                    out.push(1);
+                    put_u64(out, *j as u64);
+                    put_u64(out, *i as u64);
+                }
+            }
+        }
+        Request::CheckTid { stripe, ntid, otid } => {
+            out.push(3);
+            put_u64(out, stripe.0);
+            put_tid(out, ntid);
+            put_tid(out, otid);
+        }
+        Request::TryLock { stripe, lm, caller } => {
+            out.push(4);
+            put_u64(out, stripe.0);
+            out.push(lmode_tag(*lm));
+            put_u32(out, caller.0);
+        }
+        Request::SetLock { stripe, lm, caller } => {
+            out.push(5);
+            put_u64(out, stripe.0);
+            out.push(lmode_tag(*lm));
+            put_u32(out, caller.0);
+        }
+        Request::GetState { stripe } => {
+            out.push(6);
+            put_u64(out, stripe.0);
+        }
+        Request::GetRecent { stripe, lm, caller } => {
+            out.push(7);
+            put_u64(out, stripe.0);
+            out.push(lmode_tag(*lm));
+            put_u32(out, caller.0);
+        }
+        Request::Reconstruct { stripe, cset, block } => {
+            out.push(8);
+            put_u64(out, stripe.0);
+            put_u32(out, cset.len() as u32);
+            for &i in cset {
+                put_u64(out, i as u64);
+            }
+            put_bytes(out, block);
+        }
+        Request::Finalize { stripe, epoch } => {
+            out.push(9);
+            put_u64(out, stripe.0);
+            put_u64(out, epoch.0);
+        }
+        Request::GcOld { stripe, tids } => {
+            out.push(10);
+            put_u64(out, stripe.0);
+            put_u32(out, tids.len() as u32);
+            for t in tids {
+                put_tid(out, t);
+            }
+        }
+        Request::GcRecent { stripe, tids } => {
+            out.push(11);
+            put_u64(out, stripe.0);
+            put_u32(out, tids.len() as u32);
+            for t in tids {
+                put_tid(out, t);
+            }
+        }
+        Request::Probe { stripe } => {
+            out.push(12);
+            put_u64(out, stripe.0);
+        }
+        Request::Batch(members) => {
+            out.push(13);
+            put_u32(out, members.len() as u32);
+            for m in members {
+                encode_request(out, m);
+            }
+        }
+    }
+}
+
+fn encode_record(rec: WalRecordRef<'_>) -> Vec<u8> {
+    let mut out = Vec::new();
+    match rec {
+        WalRecordRef::Apply(req) => {
+            out.push(0);
+            encode_request(&mut out, req);
+        }
+        WalRecordRef::ClientFailure(c) => {
+            out.push(1);
+            put_u32(&mut out, c.0);
+        }
+        WalRecordRef::FailRemap(g) => {
+            out.push(2);
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// Byte cursor for decoding; every getter returns `None` past the end.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.bytes.get(self.at)?;
+        self.at += 1;
+        Some(v)
+    }
+    fn u32(&mut self) -> Option<u32> {
+        let v = u32::from_le_bytes(self.bytes.get(self.at..self.at + 4)?.try_into().ok()?);
+        self.at += 4;
+        Some(v)
+    }
+    fn u64(&mut self) -> Option<u64> {
+        let v = u64::from_le_bytes(self.bytes.get(self.at..self.at + 8)?.try_into().ok()?);
+        self.at += 8;
+        Some(v)
+    }
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = self.u32()? as usize;
+        let v = self.bytes.get(self.at..self.at + len)?.to_vec();
+        self.at += len;
+        Some(v)
+    }
+    fn tid(&mut self) -> Option<Tid> {
+        let seq = self.u64()?;
+        let block = self.u64()? as usize;
+        let client = ClientId(self.u32()?);
+        Some(Tid::new(seq, block, client))
+    }
+    fn opt_tid(&mut self) -> Option<Option<Tid>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.tid()?)),
+            _ => None,
+        }
+    }
+    fn lmode(&mut self) -> Option<LMode> {
+        Some(match self.u8()? {
+            0 => LMode::Unl,
+            1 => LMode::L0,
+            2 => LMode::L1,
+            3 => LMode::Exp,
+            _ => return None,
+        })
+    }
+}
+
+fn decode_request(c: &mut Cursor<'_>) -> Option<Request> {
+    Some(match c.u8()? {
+        0 => Request::Read { stripe: StripeId(c.u64()?) },
+        1 => Request::Swap {
+            stripe: StripeId(c.u64()?),
+            value: c.bytes()?,
+            ntid: c.tid()?,
+        },
+        2 => Request::Add {
+            stripe: StripeId(c.u64()?),
+            delta: c.bytes()?,
+            ntid: c.tid()?,
+            otid: c.opt_tid()?,
+            epoch: Epoch(c.u64()?),
+            scale: match c.u8()? {
+                0 => None,
+                1 => Some((c.u64()? as usize, c.u64()? as usize)),
+                _ => return None,
+            },
+        },
+        3 => Request::CheckTid {
+            stripe: StripeId(c.u64()?),
+            ntid: c.tid()?,
+            otid: c.tid()?,
+        },
+        4 => Request::TryLock {
+            stripe: StripeId(c.u64()?),
+            lm: c.lmode()?,
+            caller: ClientId(c.u32()?),
+        },
+        5 => Request::SetLock {
+            stripe: StripeId(c.u64()?),
+            lm: c.lmode()?,
+            caller: ClientId(c.u32()?),
+        },
+        6 => Request::GetState { stripe: StripeId(c.u64()?) },
+        7 => Request::GetRecent {
+            stripe: StripeId(c.u64()?),
+            lm: c.lmode()?,
+            caller: ClientId(c.u32()?),
+        },
+        8 => {
+            let stripe = StripeId(c.u64()?);
+            let n = c.u32()? as usize;
+            let mut cset = Vec::with_capacity(n);
+            for _ in 0..n {
+                cset.push(c.u64()? as usize);
+            }
+            Request::Reconstruct { stripe, cset, block: c.bytes()? }
+        }
+        9 => Request::Finalize {
+            stripe: StripeId(c.u64()?),
+            epoch: Epoch(c.u64()?),
+        },
+        10 => {
+            let stripe = StripeId(c.u64()?);
+            let n = c.u32()? as usize;
+            let mut tids = Vec::with_capacity(n);
+            for _ in 0..n {
+                tids.push(c.tid()?);
+            }
+            Request::GcOld { stripe, tids }
+        }
+        11 => {
+            let stripe = StripeId(c.u64()?);
+            let n = c.u32()? as usize;
+            let mut tids = Vec::with_capacity(n);
+            for _ in 0..n {
+                tids.push(c.tid()?);
+            }
+            Request::GcRecent { stripe, tids }
+        }
+        12 => Request::Probe { stripe: StripeId(c.u64()?) },
+        13 => {
+            let n = c.u32()? as usize;
+            let mut members = Vec::with_capacity(n);
+            for _ in 0..n {
+                members.push(decode_request(c)?);
+            }
+            Request::Batch(members)
+        }
+        _ => return None,
+    })
+}
+
+fn decode_record(payload: &[u8]) -> Option<WalRecord> {
+    let mut c = Cursor { bytes: payload, at: 0 };
+    let rec = match c.u8()? {
+        0 => WalRecord::Apply(decode_request(&mut c)?),
+        1 => WalRecord::ClientFailure(ClientId(c.u32()?)),
+        2 => WalRecord::FailRemap(c.u8()?),
+        _ => return None,
+    };
+    // A trailing-garbage payload is not a record we wrote.
+    (c.at == payload.len()).then_some(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Read { stripe: StripeId(7) },
+            Request::Swap {
+                stripe: StripeId(1),
+                value: vec![1, 2, 3],
+                ntid: Tid::new(9, 2, ClientId(4)),
+            },
+            Request::Add {
+                stripe: StripeId(2),
+                delta: vec![0xFF; 4],
+                ntid: Tid::new(3, 0, ClientId(1)),
+                otid: Some(Tid::new(2, 0, ClientId(1))),
+                epoch: Epoch(5),
+                scale: Some((3, 1)),
+            },
+            Request::CheckTid {
+                stripe: StripeId(3),
+                ntid: Tid::new(1, 0, ClientId(1)),
+                otid: Tid::new(0, 0, ClientId(2)),
+            },
+            Request::TryLock {
+                stripe: StripeId(4),
+                lm: LMode::L1,
+                caller: ClientId(8),
+            },
+            Request::SetLock {
+                stripe: StripeId(4),
+                lm: LMode::Unl,
+                caller: ClientId(8),
+            },
+            Request::GetState { stripe: StripeId(5) },
+            Request::GetRecent {
+                stripe: StripeId(5),
+                lm: LMode::L0,
+                caller: ClientId(2),
+            },
+            Request::Reconstruct {
+                stripe: StripeId(6),
+                cset: vec![0, 2, 3],
+                block: vec![9; 8],
+            },
+            Request::Finalize { stripe: StripeId(6), epoch: Epoch(2) },
+            Request::GcOld {
+                stripe: StripeId(7),
+                tids: vec![Tid::new(1, 0, ClientId(1))],
+            },
+            Request::GcRecent { stripe: StripeId(7), tids: vec![] },
+            Request::Probe { stripe: StripeId(8) },
+            Request::Batch(vec![
+                Request::Read { stripe: StripeId(0) },
+                Request::Batch(vec![Request::Probe { stripe: StripeId(1) }]),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn codec_round_trips_every_request_shape() {
+        for req in sample_requests() {
+            let payload = encode_record(WalRecordRef::Apply(&req));
+            assert_eq!(
+                decode_record(&payload),
+                Some(WalRecord::Apply(req.clone())),
+                "round trip failed for {req:?}"
+            );
+        }
+        let payload = encode_record(WalRecordRef::ClientFailure(ClientId(3)));
+        assert_eq!(decode_record(&payload), Some(WalRecord::ClientFailure(ClientId(3))));
+        let payload = encode_record(WalRecordRef::FailRemap(0xA5));
+        assert_eq!(decode_record(&payload), Some(WalRecord::FailRemap(0xA5)));
+    }
+
+    #[test]
+    fn decoder_rejects_truncation_and_trailing_garbage() {
+        let req = Request::Swap {
+            stripe: StripeId(1),
+            value: vec![1, 2, 3],
+            ntid: Tid::new(9, 2, ClientId(4)),
+        };
+        let payload = encode_record(WalRecordRef::Apply(&req));
+        for cut in 0..payload.len() {
+            assert_eq!(decode_record(&payload[..cut]), None, "accepted a {cut}-byte prefix");
+        }
+        let mut padded = payload.clone();
+        padded.push(0);
+        assert_eq!(decode_record(&padded), None, "accepted trailing garbage");
+    }
+
+    #[test]
+    fn wal_appends_commit_and_replay() {
+        let dir = scratch_dir("unit");
+        let wal = WalBackend::create(dir.join("a.wal"));
+        let reqs = sample_requests();
+        for r in &reqs {
+            wal.append(WalRecordRef::Apply(r));
+        }
+        wal.append(WalRecordRef::ClientFailure(ClientId(1)));
+        assert!(wal.commit());
+        assert_eq!(wal.stats().fsyncs, 1, "group commit = one fsync");
+        let replayed = wal.replay().unwrap();
+        assert_eq!(replayed.len(), reqs.len() + 1);
+        for (got, want) in replayed.iter().zip(&reqs) {
+            assert_eq!(got, &WalRecord::Apply(want.clone()));
+        }
+        assert_eq!(replayed.last(), Some(&WalRecord::ClientFailure(ClientId(1))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_commit_costs_no_fsync() {
+        let dir = scratch_dir("unit");
+        let wal = WalBackend::create(dir.join("a.wal"));
+        assert!(wal.commit());
+        assert!(wal.commit());
+        assert_eq!(wal.stats().fsyncs, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn power_failure_tears_at_the_armed_byte_and_replay_recovers_the_prefix() {
+        let dir = scratch_dir("unit");
+        let wal = WalBackend::create(dir.join("a.wal"));
+        let swap = |s: u64| Request::Swap {
+            stripe: StripeId(s),
+            value: vec![s as u8; 16],
+            ntid: Tid::new(s + 1, 0, ClientId(1)),
+        };
+        // Two durable records...
+        wal.append(WalRecordRef::Apply(&swap(0)));
+        wal.append(WalRecordRef::Apply(&swap(1)));
+        assert!(wal.commit());
+        let durable = wal.stats().durable_bytes;
+        // ...then power dies 5 bytes into the third record's frame.
+        wal.power_fail_at(durable + 5);
+        wal.append(WalRecordRef::Apply(&swap(2)));
+        assert!(!wal.commit(), "tripped commit must report failure");
+        assert!(wal.tripped());
+        // While off, nothing lands.
+        wal.append(WalRecordRef::Apply(&swap(3)));
+        assert!(!wal.commit());
+        // Reboot: the torn third record is dropped, the first two replay.
+        let replayed = wal.replay().unwrap();
+        assert_eq!(
+            replayed,
+            vec![WalRecord::Apply(swap(0)), WalRecord::Apply(swap(1))]
+        );
+        assert!(!wal.tripped());
+        assert_eq!(wal.stats().durable_bytes, durable, "torn tail truncated");
+        // The log keeps working after recovery.
+        wal.append(WalRecordRef::Apply(&swap(4)));
+        assert!(wal.commit());
+        assert_eq!(wal.replay().unwrap().len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_discards_everything_and_rearms() {
+        let dir = scratch_dir("unit");
+        let wal = WalBackend::create(dir.join("a.wal"));
+        wal.append(WalRecordRef::FailRemap(1));
+        assert!(wal.commit());
+        wal.power_fail_at(2);
+        wal.truncate();
+        assert_eq!(wal.replay().unwrap(), vec![]);
+        // The armed failure was cleared by the medium swap.
+        wal.append(WalRecordRef::FailRemap(2));
+        assert!(wal.commit());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

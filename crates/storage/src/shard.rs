@@ -28,12 +28,29 @@
 //!    by its stripe, so the shard partition is semantically invisible.
 
 use crate::node::{FlushPolicy, Reply, Request, StorageNode};
+use crate::persist::{InMemoryPersistence, Persistence, WalRecord, WalRecordRef};
 use crate::state::BlockState;
 use crate::types::{ClientId, NodeId, StripeId};
 use ajx_erasure::ReedSolomon;
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Whether a request must be journaled for crash recovery. Read-only
+/// requests advance nothing durable (only the monitoring clock); a batch
+/// is journaled whole if any member mutates, because it executes — and
+/// must recover — atomically.
+fn is_journaled(req: &Request) -> bool {
+    match req {
+        Request::Read { .. }
+        | Request::GetState { .. }
+        | Request::Probe { .. }
+        | Request::CheckTid { .. } => false,
+        Request::Batch(members) => members.iter().any(is_journaled),
+        _ => true,
+    }
+}
 
 /// A storage node whose per-stripe state is partitioned into independently
 /// locked shards, so concurrent requests for different stripes never
@@ -62,6 +79,11 @@ pub struct ShardedNode {
     /// block. Disjoint-stripe workloads keep this at zero — the measurable
     /// form of "independent batches don't serialize".
     contended_locks: AtomicU64,
+    /// Durability backend (DESIGN.md §10). Appends happen under the shard
+    /// locks covering the record, so the journal order is a valid
+    /// linearization; commits happen after locks drop — one fsync per
+    /// round trip (group commit).
+    persist: Arc<dyn Persistence>,
 }
 
 impl ShardedNode {
@@ -80,7 +102,21 @@ impl ShardedNode {
             media_writes: AtomicU64::new(0),
             shard_locks: AtomicU64::new(0),
             contended_locks: AtomicU64::new(0),
+            persist: Arc::new(InMemoryPersistence),
         }
+    }
+
+    /// Attaches a durability backend (default: in-memory, nothing
+    /// survives a restart). Journaling begins with the next request.
+    pub fn with_persistence(mut self, persist: Arc<dyn Persistence>) -> Self {
+        self.persist = persist;
+        self
+    }
+
+    /// The node's durability backend — for arming power failures and
+    /// reading durability stats in tests and benches.
+    pub fn persistence(&self) -> &Arc<dyn Persistence> {
+        &self.persist
     }
 
     /// Equips every shard with the erasure code for broadcast-mode scaled
@@ -196,17 +232,21 @@ impl ShardedNode {
     /// other requests — the same observable semantics as the single-lock
     /// [`StorageNode::handle`].
     pub fn handle(&self, req: Request) -> Reply {
-        match req {
-            Request::Batch(members) => {
+        let reply = match req {
+            req @ Request::Batch(_) => {
                 let mut shard_set = std::collections::BTreeSet::new();
-                for m in &members {
-                    self.collect_shards(m, &mut shard_set);
-                }
+                self.collect_shards(&req, &mut shard_set);
                 // Ascending acquisition: BTreeSet iterates in order.
                 let mut guards: BTreeMap<usize, MutexGuard<'_, StorageNode>> = shard_set
                     .into_iter()
                     .map(|idx| (idx, self.lock_shard(idx)))
                     .collect();
+                // One journal record for the whole batch — it executes
+                // atomically under the shard set, so it recovers atomically.
+                if is_journaled(&req) {
+                    self.persist.append(WalRecordRef::Apply(&req));
+                }
+                let Request::Batch(members) = req else { unreachable!() };
                 Reply::Batch(
                     members
                         .into_iter()
@@ -221,6 +261,9 @@ impl ShardedNode {
                     Request::Swap { .. } | Request::Add { .. } | Request::Reconstruct { .. }
                 );
                 let mut shard = self.lock_shard(self.shard_of(stripe));
+                if is_journaled(&other) {
+                    self.persist.append(WalRecordRef::Apply(&other));
+                }
                 let reply = shard.handle(other);
                 drop(shard);
                 if mutates && !matches!(reply, Reply::NoCode) {
@@ -228,7 +271,14 @@ impl ShardedNode {
                 }
                 reply
             }
+        };
+        // Group commit: one fsync covers every record journaled since the
+        // last commit, by any worker. Under the deferred policy the WAL
+        // commits only at flush points, mirroring §3.11 media deferral.
+        if self.flush_policy == FlushPolicy::WriteThrough {
+            self.persist.commit();
         }
+        reply
     }
 
     /// Node-level §3.11 media accounting — mirrors
@@ -258,15 +308,19 @@ impl ShardedNode {
         self.media_writes.load(Ordering::Relaxed)
     }
 
-    /// Flushes any deferred dirty block to the medium.
+    /// Flushes any deferred dirty block to the medium, and commits any
+    /// journal records deferred with it.
     pub fn flush_all(&self) {
         if self.dirty.lock().take().is_some() {
             self.media_writes.fetch_add(1, Ordering::Relaxed);
         }
+        self.persist.commit();
     }
 
     /// Simulates a crash + remap (§3.5) across every shard; see
-    /// [`StorageNode::fail_remap`].
+    /// [`StorageNode::fail_remap`]. The replacement node arrives with a
+    /// *fresh* medium: the journal is discarded and restarted with the
+    /// remap event, so a later restart-with-disk replays onto garbage.
     pub fn fail_remap(&self, garbage_byte: u8) {
         // Ascending shard order, same as every other multi-shard acquirer.
         let mut guards: Vec<MutexGuard<'_, StorageNode>> =
@@ -275,15 +329,89 @@ impl ShardedNode {
             g.fail_remap(garbage_byte);
         }
         *self.dirty.lock() = None;
+        self.persist.truncate();
+        self.persist.append(WalRecordRef::FailRemap(garbage_byte));
+        self.persist.commit();
     }
 
     /// Expires recovery locks held by a crashed `client` (Fig. 6 line 34).
     /// Returns how many locks expired.
+    ///
+    /// Locks every shard first (ascending, like every other multi-shard
+    /// acquirer) so the expiry is atomic across the node — and so its
+    /// single journal record sits at a point that is a valid
+    /// linearization of the node's execution order.
     pub fn on_client_failure(&self, client: ClientId) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().on_client_failure(client))
-            .sum()
+        let mut guards: Vec<MutexGuard<'_, StorageNode>> =
+            self.shards.iter().map(|s| s.lock()).collect();
+        self.persist.append(WalRecordRef::ClientFailure(client));
+        let expired = guards
+            .iter_mut()
+            .map(|g| g.on_client_failure(client))
+            .sum();
+        drop(guards);
+        self.persist.commit();
+        expired
+    }
+
+    /// Whether an armed power failure has tripped the durability backend
+    /// (the machine is "off"; the transport takes the node down).
+    pub fn persist_tripped(&self) -> bool {
+        self.persist.tripped()
+    }
+
+    /// Restart-with-disk: wipes all in-memory state (a restart loses RAM)
+    /// and replays the journal through the fresh state machines. Returns
+    /// `false` — leaving memory untouched — if the backend is not durable,
+    /// in which case the caller must wipe-and-rebuild instead (§3.5).
+    ///
+    /// Counters restart from zero, as a real process restart would; the
+    /// replay itself re-counts the work it re-applies.
+    pub fn restart_from_disk(&self) -> bool {
+        let Some(records) = self.persist.replay() else {
+            return false;
+        };
+        let mut guards: Vec<MutexGuard<'_, StorageNode>> =
+            self.shards.iter().map(|s| s.lock()).collect();
+        for g in &mut guards {
+            g.reset();
+        }
+        *self.dirty.lock() = None;
+        self.media_writes.store(0, Ordering::Relaxed);
+        self.shard_locks.store(0, Ordering::Relaxed);
+        self.contended_locks.store(0, Ordering::Relaxed);
+        for rec in records {
+            match rec {
+                WalRecord::Apply(req) => self.replay_request(&mut guards, req),
+                WalRecord::ClientFailure(c) => {
+                    for g in &mut guards {
+                        g.on_client_failure(c);
+                    }
+                }
+                WalRecord::FailRemap(garbage) => {
+                    for g in &mut guards {
+                        g.fail_remap(garbage);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Re-applies one journaled request during replay, routing each leaf
+    /// to its shard (batch members in order, like the live batch path).
+    fn replay_request(&self, guards: &mut [MutexGuard<'_, StorageNode>], req: Request) {
+        match req {
+            Request::Batch(members) => {
+                for m in members {
+                    self.replay_request(guards, m);
+                }
+            }
+            other => {
+                let idx = self.shard_of(other.stripe());
+                guards[idx].handle(other);
+            }
+        }
     }
 
     /// Locks every shard (ascending) and returns an exclusive whole-node
@@ -335,6 +463,12 @@ impl NodeView<'_> {
         self.node.media_writes()
     }
 
+    /// Durability counters from the node's persistence backend (all zero
+    /// on the in-memory backend).
+    pub fn persist_stats(&self) -> crate::persist::PersistStats {
+        self.node.persist.stats()
+    }
+
     /// Flushes any deferred dirty block to the medium.
     pub fn flush_all(&mut self) {
         self.node.flush_all();
@@ -376,9 +510,22 @@ impl NodeView<'_> {
     /// used to call `StorageNode::handle` under the node mutex. Same
     /// semantics (and same media accounting) as [`ShardedNode::handle`].
     pub fn handle(&mut self, req: Request) -> Reply {
+        // Same journal-then-apply-then-commit shape as
+        // [`ShardedNode::handle`]; the view already holds every shard.
+        if is_journaled(&req) {
+            self.node.persist.append(WalRecordRef::Apply(&req));
+        }
+        let reply = self.apply(req);
+        if self.node.flush_policy == FlushPolicy::WriteThrough {
+            self.node.persist.commit();
+        }
+        reply
+    }
+
+    fn apply(&mut self, req: Request) -> Reply {
         match req {
             Request::Batch(members) => {
-                Reply::Batch(members.into_iter().map(|m| self.handle(m)).collect())
+                Reply::Batch(members.into_iter().map(|m| self.apply(m)).collect())
             }
             other => {
                 let stripe = other.stripe();
@@ -554,6 +701,68 @@ mod tests {
             "disjoint-shard batches must not serialize"
         );
         assert_eq!(node.shard_lock_acquisitions(), 4 * 500);
+    }
+
+    #[test]
+    fn wal_restart_with_disk_recovers_blocks_and_metadata() {
+        use crate::persist::{scratch_dir, Persistence, WalBackend};
+        use crate::types::OpMode;
+        let dir = scratch_dir("shard");
+        let wal: Arc<dyn Persistence> = Arc::new(WalBackend::create(dir.join("n.wal")));
+        let node = ShardedNode::new(NodeId(0), 2, 3).with_persistence(Arc::clone(&wal));
+        for s in 0..5u64 {
+            node.handle(Request::Swap {
+                stripe: StripeId(s),
+                value: vec![s as u8 + 1; 2],
+                ntid: tid(s + 1),
+            });
+        }
+        // A held recovery lock, an expired one, and a batch.
+        node.handle(Request::TryLock {
+            stripe: StripeId(1),
+            lm: LMode::L1,
+            caller: ClientId(7),
+        });
+        node.handle(Request::TryLock {
+            stripe: StripeId(2),
+            lm: LMode::L1,
+            caller: ClientId(9),
+        });
+        assert_eq!(node.on_client_failure(ClientId(9)), 1);
+        node.handle(Request::Batch(vec![add(0, 9), add(4, 10)]));
+
+        let snapshot: Vec<_> = {
+            let view = node.lock_all();
+            (0..5u64)
+                .map(|s| {
+                    let b = view.block_state(StripeId(s)).unwrap();
+                    (b.raw_block().to_vec(), b.opmode(), b.lmode(), b.epoch())
+                })
+                .collect()
+        };
+        assert!(node.restart_from_disk(), "WAL backend must recover");
+        let view = node.lock_all();
+        for (s, (bytes, opmode, lmode, epoch)) in snapshot.iter().enumerate() {
+            let b = view.block_state(StripeId(s as u64)).unwrap();
+            assert_eq!(b.raw_block(), &bytes[..], "stripe {s} bytes");
+            assert_eq!(b.opmode(), *opmode, "stripe {s} opmode");
+            assert_eq!(b.lmode(), *lmode, "stripe {s} lmode");
+            assert_eq!(b.epoch(), *epoch, "stripe {s} epoch");
+        }
+        assert_eq!(view.block_state(StripeId(1)).unwrap().lmode(), LMode::L1);
+        assert_eq!(view.block_state(StripeId(2)).unwrap().lmode(), LMode::Exp);
+        assert_eq!(view.block_state(StripeId(0)).unwrap().opmode(), OpMode::Norm);
+        drop(view);
+
+        // The in-memory backend cannot restart with disk.
+        let mem = ShardedNode::new(NodeId(0), 2, 3);
+        mem.handle(Request::Swap {
+            stripe: StripeId(0),
+            value: vec![3; 2],
+            ntid: tid(1),
+        });
+        assert!(!mem.restart_from_disk());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -26,7 +26,10 @@ use crate::error::RpcError;
 use crate::fault::{Fate, FaultPlan};
 use crate::stats::NetStats;
 use ajx_erasure::ReedSolomon;
-use ajx_storage::{ClientId, FlushPolicy, NodeId, NodeView, Reply, Request, ShardedNode};
+use ajx_storage::{
+    backend_for, ClientId, FlushPolicy, NodeId, NodeView, PersistMode, PersistStats, Reply,
+    Request, ShardedNode,
+};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -67,6 +70,11 @@ pub struct NetworkConfig {
     /// shards are served without lock contention (see
     /// [`ajx_storage::ShardedNode`]).
     pub state_shards: usize,
+    /// Durability backend for the nodes (DESIGN.md §10). The default
+    /// in-memory mode is the original behavior: a restart loses
+    /// everything. WAL mode journals to one file per node and enables
+    /// [`Network::restart_node_with_disk`].
+    pub persist: PersistMode,
 }
 
 impl Default for NetworkConfig {
@@ -85,6 +93,7 @@ impl Default for NetworkConfig {
             call_timeout: None,
             node_queue_depth: Some(1024),
             state_shards: 8,
+            persist: PersistMode::InMemory,
         }
     }
 }
@@ -184,6 +193,17 @@ fn spawn_node_workers(
                     // stripe shards this request touches, so workers on
                     // independent stripes proceed in parallel.
                     let reply = node.handle(job.req);
+                    // A power failure tripping during this request's
+                    // commit means the machine died before the reply left
+                    // it: the node goes down and the caller sees an
+                    // indeterminate timeout — the write may or may not
+                    // have become durable (ack-after-fsync semantics).
+                    if node.persist_tripped() {
+                        up.store(false, Ordering::SeqCst);
+                        stats.dec_inflight(id.0 as usize);
+                        let _ = job.reply_tx.send(Err(RpcError::Timeout(id)));
+                        continue;
+                    }
                     if let Some(nic) = &nic {
                         nic.consume(reply.wire_bytes());
                     }
@@ -219,7 +239,8 @@ impl Network {
             .map(|i| {
                 let id = NodeId(i as u32);
                 let mut node = ShardedNode::new(id, cfg.block_size, cfg.state_shards)
-                    .with_flush_policy(cfg.flush_policy);
+                    .with_flush_policy(cfg.flush_policy)
+                    .with_persistence(backend_for(&cfg.persist, i as u32));
                 if let Some(code) = &cfg.code {
                     node = node.with_code(code.clone());
                 }
@@ -298,11 +319,56 @@ impl Network {
 
     /// Remaps the logical node to a fresh replacement (§3.5): the node
     /// comes back up with `opmode = INIT` and `garbage_byte` contents.
+    /// With a durable backend this also swaps the medium — the journal
+    /// restarts from the remap event.
     pub fn remap_node(&self, node: NodeId, garbage_byte: u8) {
         if let Some(slot) = self.slots.get(node.0 as usize) {
             slot.node.fail_remap(garbage_byte);
             slot.up.store(true, Ordering::SeqCst);
         }
+    }
+
+    /// Restart-with-disk: wipes the node's RAM, replays its journal, and
+    /// brings it back up — possibly stale if commits were deferred, but
+    /// never corrupt (DESIGN.md §10). Returns `false`, leaving the node
+    /// down and untouched, if it has no durable backend; the caller must
+    /// wipe-and-rebuild via [`Network::remap_node`] instead.
+    pub fn restart_node_with_disk(&self, node: NodeId) -> bool {
+        let Some(slot) = self.slots.get(node.0 as usize) else {
+            return false;
+        };
+        if slot.node.restart_from_disk() {
+            slot.up.store(true, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Arms a simulated power failure on `node`: the journal commit that
+    /// would push the durable length past `offset` bytes tears there and
+    /// the node dies mid-ack (see [`ajx_storage::Persistence::power_fail_at`]).
+    /// No effect on in-memory nodes.
+    pub fn arm_power_failure(&self, node: NodeId, offset: u64) {
+        if let Some(slot) = self.slots.get(node.0 as usize) {
+            slot.node.persistence().power_fail_at(offset);
+        }
+    }
+
+    /// Whether `node`'s durability backend has tripped an armed power
+    /// failure (used by drivers that commit outside the RPC path).
+    pub fn node_persist_tripped(&self, node: NodeId) -> bool {
+        self.slots
+            .get(node.0 as usize)
+            .is_some_and(|s| s.node.persist_tripped())
+    }
+
+    /// Durability counters for `node`'s backend (fsyncs, records, bytes).
+    pub fn persist_stats(&self, node: NodeId) -> PersistStats {
+        self.slots
+            .get(node.0 as usize)
+            .map(|s| s.node.persistence().stats())
+            .unwrap_or_default()
     }
 
     /// Parks the node's worker threads (each right after dequeuing its next

@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
 # Repo check entry point: release build, lint wall, full workspace test
-# suite, a seeded chaos smoke run, the GF(2^8) kernel backend matrix
-# (per-backend test runs + BENCH_kernels.json), the batched data-path
-# throughput smoke (BENCH_datapath.json), the degraded-read/rebuild
-# smoke (BENCH_recovery.json — asserts the >=4x rebuild speedup and
-# zero-lock degraded reads internally), and the many-client scale-out
-# smoke (BENCH_scaleout.json — asserts 1k-client IOPS >= 5x the
-# 8-client figure with zero failed ops, both in-binary and here).
+# suite, a seeded chaos smoke run, the seeded power-loss smoke (three
+# seeds, both flush policies, byte-identical traces), the GF(2^8) kernel
+# backend matrix (per-backend test runs + BENCH_kernels.json), the
+# batched data-path throughput smoke, the degraded-read/rebuild smoke
+# (asserts the >=4x rebuild speedup and zero-lock degraded reads
+# internally), the many-client scale-out smoke (asserts 1k-client IOPS
+# >= 5x the 8-client figure with zero failed ops), and the durability
+# smoke (asserts restart-with-disk beats wipe-and-rebuild).
+#
+# Smoke artifacts land in BENCH_<name>.smoke.json — never in the
+# committed full-run BENCH_<name>.json files, which only a full (no
+# --smoke) bench run may produce. The guard below refuses any full-run
+# artifact tagged "smoke": true unless AJX_ALLOW_SMOKE=1 is set
+# explicitly, so a smoke run can no longer masquerade as real numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,27 +29,60 @@ cargo test --workspace -q
 echo "== chaos smoke (seeded fault injection) =="
 cargo test -p repro-tests --test chaos_soak --release -q
 
+echo "== power-loss smoke (3 seeds, byte-identical traces) =="
+cargo test -p ajx-cluster --release -q \
+  three_seeds_reproduce_byte_identically_under_both_policies
+
 tools/kernel_matrix.sh --quick
 
 echo "== batched data path (ext_seq_throughput --smoke) =="
 cargo run --release -p ajx-bench --bin ext_seq_throughput -- --smoke \
-  > BENCH_datapath.json
-cat BENCH_datapath.json
+  > BENCH_datapath.smoke.json
+cat BENCH_datapath.smoke.json
 
 echo "== degraded reads + rebuild engine (ext_rebuild --smoke) =="
 cargo run --release -p ajx-bench --bin ext_rebuild -- --smoke \
-  > BENCH_recovery.json
-cat BENCH_recovery.json
+  > BENCH_recovery.smoke.json
+cat BENCH_recovery.smoke.json
 
 echo "== many-client scale-out (ext_many_clients --smoke) =="
 # The binary exits nonzero itself if the 5x floor or zero-failure
 # invariant is violated; the greps below re-assert from the artifact so
-# a stale or hand-edited BENCH_scaleout.json can't pass.
+# a stale or hand-edited artifact can't pass.
 cargo run --release -p ajx-bench --bin ext_many_clients -- --smoke \
-  > BENCH_scaleout.json
-cat BENCH_scaleout.json
-grep -q '"pass":true' BENCH_scaleout.json \
+  > BENCH_scaleout.smoke.json
+cat BENCH_scaleout.smoke.json
+grep -q '"pass":true' BENCH_scaleout.smoke.json \
   || { echo "scale-out floor violated (no passing verdict)"; exit 1; }
-! grep -q '"pass":false' BENCH_scaleout.json \
+! grep -q '"pass":false' BENCH_scaleout.smoke.json \
   || { echo "scale-out floor violated"; exit 1; }
 echo "scale-out floor holds (1k clients >= 5x 8-client IOPS)"
+
+echo "== durable nodes (ext_durability --smoke) =="
+# The binary asserts the floor itself; the grep re-asserts from the
+# artifact.
+cargo run --release -p ajx-bench --bin ext_durability -- --smoke \
+  > BENCH_durability.smoke.json
+cat BENCH_durability.smoke.json
+grep -q '"recovery_floor_pass": true' BENCH_durability.smoke.json \
+  || { echo "durability floor violated (WAL recovery not faster than rebuild)"; exit 1; }
+echo "durability floor holds (restart-with-disk beats wipe-and-rebuild)"
+
+echo "== full-run artifacts are not smoke runs =="
+if [ "${AJX_ALLOW_SMOKE:-0}" != "1" ]; then
+  for f in BENCH_*.json; do
+    case "$f" in *.smoke.json) continue ;; esac
+    [ -e "$f" ] || continue
+    if grep -q '"smoke": *true' "$f"; then
+      echo "$f is a smoke artifact masquerading as a full run;"
+      echo "regenerate it without --smoke (or set AJX_ALLOW_SMOKE=1)."
+      exit 1
+    fi
+  done
+fi
+echo "ok"
+
+echo "== committed durability artifact holds the recovery floor =="
+grep -q '"recovery_floor_pass": true' BENCH_durability.json \
+  || { echo "committed BENCH_durability.json fails the recovery floor"; exit 1; }
+echo "ok"
