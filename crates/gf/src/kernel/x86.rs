@@ -46,12 +46,18 @@ pub(crate) fn delta_into_ssse3(out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
     unsafe { delta_ssse3_impl(out, c, a, b) }
 }
 
+// SAFETY: caller must ensure SSSE3 is available (the safe wrappers above
+// check it); every dereference below stays inside `dst`/`src` bounds.
 #[target_feature(enable = "ssse3")]
 unsafe fn mul_add_ssse3_impl(dst: &mut [u8], c: u8, src: &[u8]) {
     let nib = &NIB_TABLES[c as usize];
     // SAFETY: NIB_TABLES rows are 32 bytes: lo table at +0, hi at +16.
-    let tlo = unsafe { _mm_loadu_si128(nib.as_ptr().cast()) };
-    let thi = unsafe { _mm_loadu_si128(nib.as_ptr().add(16).cast()) };
+    let (tlo, thi) = unsafe {
+        (
+            _mm_loadu_si128(nib.as_ptr().cast()),
+            _mm_loadu_si128(nib.as_ptr().add(16).cast()),
+        )
+    };
     let mask = _mm_set1_epi8(0x0f);
     let n = dst.len() / 16 * 16;
     let mut i = 0;
@@ -71,12 +77,18 @@ unsafe fn mul_add_ssse3_impl(dst: &mut [u8], c: u8, src: &[u8]) {
     super::small_mul_add(&mut dst[n..], c, &src[n..]);
 }
 
+// SAFETY: caller must ensure SSSE3 is available (the safe wrappers above
+// check it); every dereference below stays inside `dst` bounds.
 #[target_feature(enable = "ssse3")]
 unsafe fn mul_ssse3_impl(dst: &mut [u8], c: u8) {
     let nib = &NIB_TABLES[c as usize];
     // SAFETY: see mul_add_ssse3_impl.
-    let tlo = unsafe { _mm_loadu_si128(nib.as_ptr().cast()) };
-    let thi = unsafe { _mm_loadu_si128(nib.as_ptr().add(16).cast()) };
+    let (tlo, thi) = unsafe {
+        (
+            _mm_loadu_si128(nib.as_ptr().cast()),
+            _mm_loadu_si128(nib.as_ptr().add(16).cast()),
+        )
+    };
     let mask = _mm_set1_epi8(0x0f);
     let n = dst.len() / 16 * 16;
     let mut i = 0;
@@ -93,12 +105,18 @@ unsafe fn mul_ssse3_impl(dst: &mut [u8], c: u8) {
     super::small_mul(&mut dst[n..], c);
 }
 
+// SAFETY: caller must ensure SSSE3 is available (the safe wrappers above
+// check it); every dereference stays inside the three equal-length slices.
 #[target_feature(enable = "ssse3")]
 unsafe fn delta_ssse3_impl(out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
     let nib = &NIB_TABLES[c as usize];
     // SAFETY: see mul_add_ssse3_impl.
-    let tlo = unsafe { _mm_loadu_si128(nib.as_ptr().cast()) };
-    let thi = unsafe { _mm_loadu_si128(nib.as_ptr().add(16).cast()) };
+    let (tlo, thi) = unsafe {
+        (
+            _mm_loadu_si128(nib.as_ptr().cast()),
+            _mm_loadu_si128(nib.as_ptr().add(16).cast()),
+        )
+    };
     let mask = _mm_set1_epi8(0x0f);
     let n = out.len() / 16 * 16;
     let mut i = 0;
@@ -137,6 +155,8 @@ pub(crate) fn delta_into_avx2(out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
     unsafe { delta_avx2_impl(out, c, a, b) }
 }
 
+// SAFETY: caller must ensure AVX2 is available; the loads stay inside the
+// 32-byte NIB_TABLES row.
 #[target_feature(enable = "avx2")]
 unsafe fn load_nib_tables_avx2(c: u8) -> (__m256i, __m256i) {
     let nib = &NIB_TABLES[c as usize];
@@ -149,8 +169,12 @@ unsafe fn load_nib_tables_avx2(c: u8) -> (__m256i, __m256i) {
     }
 }
 
+// SAFETY: caller must ensure AVX2 is available (the safe wrappers above
+// check it); every dereference below stays inside `dst`/`src` bounds.
 #[target_feature(enable = "avx2")]
 unsafe fn mul_add_avx2_impl(dst: &mut [u8], c: u8, src: &[u8]) {
+    // SAFETY: this fn's AVX2 target-feature satisfies the callee's only
+    // requirement.
     let (tlo, thi) = unsafe { load_nib_tables_avx2(c) };
     let mask = _mm256_set1_epi8(0x0f);
     let n = dst.len() / 32 * 32;
@@ -172,8 +196,12 @@ unsafe fn mul_add_avx2_impl(dst: &mut [u8], c: u8, src: &[u8]) {
     }
 }
 
+// SAFETY: caller must ensure AVX2 is available (the safe wrappers above
+// check it); every dereference below stays inside `dst` bounds.
 #[target_feature(enable = "avx2")]
 unsafe fn mul_avx2_impl(dst: &mut [u8], c: u8) {
+    // SAFETY: this fn's AVX2 target-feature satisfies the callee's only
+    // requirement.
     let (tlo, thi) = unsafe { load_nib_tables_avx2(c) };
     let mask = _mm256_set1_epi8(0x0f);
     let n = dst.len() / 32 * 32;
@@ -193,8 +221,12 @@ unsafe fn mul_avx2_impl(dst: &mut [u8], c: u8) {
     }
 }
 
+// SAFETY: caller must ensure AVX2 is available (the safe wrappers above
+// check it); every dereference stays inside the three equal-length slices.
 #[target_feature(enable = "avx2")]
 unsafe fn delta_avx2_impl(out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
+    // SAFETY: this fn's AVX2 target-feature satisfies the callee's only
+    // requirement.
     let (tlo, thi) = unsafe { load_nib_tables_avx2(c) };
     let mask = _mm256_set1_epi8(0x0f);
     let n = out.len() / 32 * 32;

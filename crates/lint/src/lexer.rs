@@ -1,0 +1,349 @@
+//! A minimal Rust lexer: just enough to tell identifiers, punctuation,
+//! literals, and comments apart, with line numbers.
+//!
+//! The rules in this crate match *token* patterns, never raw text, so a
+//! banned name inside a string literal or a doc comment can never trip a
+//! rule, and a `SAFETY:` marker inside a string can never satisfy one.
+//! The lexer handles the full literal surface the workspace uses: nested
+//! block comments, raw strings (`r#"…"#`), byte strings, char literals
+//! vs. lifetimes, and numeric literals with suffixes.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`fn`, `unsafe`, `shards`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `[`, `!`, …).
+    Punct(char),
+    /// A string/char/byte/numeric literal (content deliberately dropped).
+    Literal,
+    /// A lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is exactly the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Tok::Punct(c)
+    }
+
+    /// Whether this token is exactly the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// One comment (line or block) with its line span and raw text.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text, including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+}
+
+/// Lexes `src` into code tokens and comments.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let chars: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    let ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line,
+                end_line: line,
+            });
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            comments.push(Comment {
+                text: chars[start..i.min(n)].iter().collect(),
+                line: start_line,
+                end_line: line,
+            });
+        } else if c == 'r' || c == 'b' {
+            // Possible raw-string / byte-string / byte-char prefix.
+            let (consumed, tok) = lex_prefixed(&chars, i, &mut line);
+            if consumed > 0 {
+                tokens.push(Token { kind: tok, line });
+                i += consumed;
+            } else {
+                let start = i;
+                while i < n && ident_cont(chars[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: Tok::Ident(chars[start..i].iter().collect()),
+                    line,
+                });
+            }
+        } else if ident_start(c) {
+            let start = i;
+            while i < n && ident_cont(chars[i]) {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: Tok::Ident(chars[start..i].iter().collect()),
+                line,
+            });
+        } else if c == '"' {
+            let start_line = line;
+            i = skip_string(&chars, i, &mut line);
+            tokens.push(Token { kind: Tok::Literal, line: start_line });
+        } else if c == '\'' {
+            // Lifetime/label (`'a`) vs char literal (`'x'`, `'\n'`).
+            if i + 1 < n
+                && (ident_start(chars[i + 1]))
+                && !(i + 2 < n && chars[i + 2] == '\'')
+            {
+                i += 1;
+                let start = i;
+                while i < n && ident_cont(chars[i]) {
+                    i += 1;
+                }
+                let _ = start;
+                tokens.push(Token { kind: Tok::Lifetime, line });
+            } else {
+                i = skip_char_literal(&chars, i);
+                tokens.push(Token { kind: Tok::Literal, line });
+            }
+        } else if c.is_ascii_digit() {
+            i += 1;
+            while i < n {
+                let d = chars[i];
+                let float_point = d == '.'
+                    && i + 1 < n
+                    && chars[i + 1].is_ascii_digit()
+                    && !(i >= 1 && chars[i - 1] == '.');
+                if ident_cont(d) || float_point {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token { kind: Tok::Literal, line });
+        } else {
+            tokens.push(Token { kind: Tok::Punct(c), line });
+            i += 1;
+        }
+    }
+    (tokens, comments)
+}
+
+/// Handles `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'`, and raw identifiers
+/// (`r#ident`). Returns `(chars consumed, token)`; consumed `0` means "not
+/// a prefixed literal — lex as a plain identifier".
+fn lex_prefixed(chars: &[char], i: usize, line: &mut u32) -> (usize, Tok) {
+    let n = chars.len();
+    let c = chars[i];
+    let mut j = i + 1;
+    if c == 'b' && j < n && chars[j] == 'r' {
+        j += 1;
+    }
+    if c == 'b' && j == i + 1 && j < n && (chars[j] == '"' || chars[j] == '\'') {
+        // b"…" or b'…'
+        let end = if chars[j] == '"' {
+            skip_string(chars, j, line)
+        } else {
+            skip_char_literal(chars, j)
+        };
+        return (end - i, Tok::Literal);
+    }
+    // r / br raw forms: count hashes then require a quote.
+    if c == 'r' || (c == 'b' && j > i + 1) {
+        let mut hashes = 0;
+        while j < n && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < n && chars[j] == '"' {
+            // Raw string: scan for `"` followed by `hashes` hashes.
+            j += 1;
+            while j < n {
+                if chars[j] == '\n' {
+                    *line += 1;
+                    j += 1;
+                } else if chars[j] == '"' {
+                    let mut k = 0;
+                    while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        return (j + 1 + hashes - i, Tok::Literal);
+                    }
+                    j += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            return (n - i, Tok::Literal);
+        }
+        if c == 'r' && hashes == 1 && j < n && (chars[j].is_alphabetic() || chars[j] == '_') {
+            // Raw identifier r#ident.
+            let start = j;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            return (j - i, Tok::Ident(chars[start..j].iter().collect()));
+        }
+    }
+    (0, Tok::Literal)
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the index
+/// one past the closing quote. Tracks newlines in `line`.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    i += 1;
+    while i < n {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Skips a `'…'` char literal starting at the opening quote; returns the
+/// index one past the closing quote.
+fn skip_char_literal(chars: &[char], mut i: usize) -> usize {
+    let n = chars.len();
+    i += 1;
+    if i < n && chars[i] == '\\' {
+        i += 1;
+        if i < n && chars[i] == 'u' {
+            // '\u{…}'
+            while i < n && chars[i] != '}' {
+                i += 1;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    } else {
+        i += 1;
+    }
+    if i < n && chars[i] == '\'' {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_content() {
+        let src = r##"
+            // unwrap() in a comment
+            /* panic! in /* a nested */ block */
+            let s = "unwrap() inside a string";
+            let r = r#"expect("x") in a raw string"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap" || i == "panic" || i == "expect"));
+        assert_eq!(lex(src).1.len(), 2, "both comments captured");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; let nl = '\\n'; x }";
+        let (toks, _) = lex(src);
+        let lifetimes = toks.iter().filter(|t| t.kind == Tok::Lifetime).count();
+        assert_eq!(lifetimes, 3);
+        let lits = toks.iter().filter(|t| t.kind == Tok::Literal).count();
+        assert_eq!(lits, 2, "two char literals");
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = 2;";
+        let (toks, comments) = lex(src);
+        let b_tok = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 4);
+        assert_eq!(comments[0].line, 2);
+        assert_eq!(comments[0].end_line, 3);
+    }
+
+    #[test]
+    fn byte_and_raw_literals_lex_as_literals() {
+        let src = r#"let x = b"bytes"; let y = b'q'; let z = r"raw"; let w = 0xFF_u64;"#;
+        let (toks, _) = lex(src);
+        let lits = toks.iter().filter(|t| t.kind == Tok::Literal).count();
+        assert_eq!(lits, 4);
+    }
+
+    #[test]
+    fn numeric_range_does_not_eat_dots() {
+        let (toks, _) = lex("for i in 0..10 {}");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "0..10 keeps both range dots");
+    }
+}

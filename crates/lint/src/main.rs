@@ -1,0 +1,93 @@
+//! CLI for `ajx-lint`.
+//!
+//! Usage: `ajx-lint [--root PATH] [--summary]`
+//!
+//! Lints every `.rs` file under `<root>/crates/` (excluding `target/`
+//! and lint fixtures) and exits non-zero if any finding survives the
+//! allowlist. `--summary` prints the stable per-rule counts that
+//! `tools/lint_baseline.sh` records and diffs.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut summary_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("ajx-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--summary" => summary_only = true,
+            "--help" | "-h" => {
+                println!("ajx-lint [--root PATH] [--summary]");
+                println!("  Checks repo invariants: {}", ajx_lint::RULES.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ajx-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // If invoked from a subdirectory (e.g. via `cargo run -p ajx-lint`
+    // with a custom cwd), walk up to the workspace root.
+    if !root.join("crates").is_dir() {
+        let mut probe = root.clone();
+        while let Some(parent) = probe.parent().map(PathBuf::from) {
+            if parent.join("crates").is_dir() && parent.join("Cargo.toml").is_file() {
+                root = parent;
+                break;
+            }
+            if parent == probe {
+                break;
+            }
+            probe = parent;
+        }
+    }
+
+    let report = match ajx_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ajx-lint: failed to read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if summary_only {
+        print!("{}", report.summary());
+        return if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.msg);
+    }
+    println!(
+        "ajx-lint: {} files, {} findings, {} allows in use",
+        report.files_scanned,
+        report.findings.len(),
+        report.total_allows()
+    );
+    for rule in ajx_lint::RULES {
+        let f = report.finding_counts.get(*rule).copied().unwrap_or(0);
+        let a = report.allows.get(*rule).copied().unwrap_or(0);
+        println!("  {rule:<16} findings {f:>3}  allows {a:>3}");
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,25 @@
+// Fixture standing in for `crates/storage/src/persist.rs`: a complete
+// WAL codec — every Request variant named in both directions.
+
+fn encode_request(out: &mut Vec<u8>, req: &Request) {
+    match req {
+        Request::Read { stripe } => out.push(*stripe as u8),
+        Request::Swap { stripe, value } => {
+            out.push(*stripe as u8);
+            out.extend_from_slice(value);
+        }
+        Request::Probe { stripe } => out.push(*stripe as u8),
+    }
+}
+
+fn decode_request(bytes: &[u8]) -> Option<Request> {
+    match bytes.first()? {
+        0 => Some(Request::Read { stripe: 0 }),
+        1 => Some(Request::Swap {
+            stripe: 0,
+            value: Vec::new(),
+        }),
+        2 => Some(Request::Probe { stripe: 0 }),
+        _ => None,
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture standing in for `crates/storage/src/shard.rs`: the WAL
+// journaling classifier, deliberately missing `Swap`.
+
+fn is_journaled(req: &Request) -> bool {
+    match req {
+        Request::Read { .. } => false,
+        Request::Probe { .. } => false,
+        // missing: Request::Swap
+    }
+}

@@ -1,0 +1,37 @@
+// Fixture for the `determinism` rule: ambient clocks and entropy in
+// fault-plan-reachable code. Linted under a synthetic path inside the
+// determinism scope; the directory is excluded from real workspace walks.
+use std::time::{Instant, SystemTime};
+
+fn bad_clock() -> Instant {
+    Instant::now() // finding
+}
+
+fn bad_wall_clock() -> u64 {
+    let t = SystemTime::now(); // finding
+    let _ = t;
+    0
+}
+
+fn bad_entropy() -> u64 {
+    let mut rng = rand::thread_rng(); // finding
+    rng.gen()
+}
+
+fn fine_seeded(seed: u64) -> u64 {
+    // Seeded generators are the sanctioned source of randomness.
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    rng.gen()
+}
+
+fn fine_in_string() -> &'static str {
+    "Instant::now() in a string literal is not a finding"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_time_things() {
+        let _t = std::time::Instant::now(); // not a finding: test code
+    }
+}

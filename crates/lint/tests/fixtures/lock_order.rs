@@ -1,0 +1,32 @@
+// Fixture for the `lock-order` rule: shard mutexes touched outside the
+// sanctioned helpers. Linted under the synthetic path of the sharded
+// node, where the rule applies.
+
+struct Fixture {
+    shards: Vec<Mutex<u8>>,
+}
+
+impl Fixture {
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, u8> {
+        // Sanctioned helper: direct acquisition is fine here.
+        self.shards[idx].lock()
+    }
+
+    fn lock_all_shards(&self) -> Vec<MutexGuard<'_, u8>> {
+        // Sanctioned helper as well.
+        self.shards.iter().map(|s| s.lock()).collect()
+    }
+
+    fn bad_direct_lock(&self, idx: usize) -> MutexGuard<'_, u8> {
+        self.shards[idx].lock() // finding: not a sanctioned helper
+    }
+
+    fn bad_direct_try_lock(&self, idx: usize) -> Option<MutexGuard<'_, u8>> {
+        self.shards[idx].try_lock() // finding
+    }
+
+    fn fine_unrelated_lock(&self, other: &Mutex<u8>) -> MutexGuard<'_, u8> {
+        // Locks that are not shard locks are out of the rule's scope.
+        other.lock()
+    }
+}

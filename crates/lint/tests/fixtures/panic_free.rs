@@ -1,0 +1,55 @@
+// Fixture for the `panic-free` rule: panics and unguarded indexing on
+// request-handling paths, plus the LINT-ALLOW escape hatch.
+
+fn bad_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap() // finding
+}
+
+fn bad_expect(x: Option<u8>) -> u8 {
+    x.expect("always set") // finding
+}
+
+fn bad_macros(v: u8) -> u8 {
+    match v {
+        0 => panic!("zero"),       // finding
+        1 => unreachable!(),       // finding
+        2 => todo!(),              // finding
+        _ => v,
+    }
+}
+
+fn bad_indexing(v: &[u8], i: usize) -> u8 {
+    v[i] // finding
+}
+
+fn allowed_unwrap(x: Option<u8>) -> u8 {
+    // LINT-ALLOW(panic-free: fixture — proven Some by the caller)
+    x.unwrap()
+}
+
+fn allowed_multiline(v: &[u8]) -> u8 {
+    // LINT-ALLOW(panic-free: fixture exercising a directive that wraps
+    // across two comment lines; the slice is never empty here)
+    v[0]
+}
+
+fn fine_guarded(v: &[u8], i: usize) -> Option<u8> {
+    v.get(i).copied()
+}
+
+fn fine_attr_not_index(v: Vec<u8>) -> Vec<u8> {
+    // `#[derive(...)]`-style brackets and slice types must not count as
+    // indexing; neither must array literals.
+    let w: [u8; 2] = [1, 2];
+    let _ = w;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let x: Option<u8> = Some(3);
+        assert_eq!(x.unwrap(), 3); // not a finding: test code
+    }
+}

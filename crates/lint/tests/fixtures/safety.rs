@@ -1,0 +1,30 @@
+// Fixture for the `safety-comment` rule: undocumented unsafe.
+
+fn bad_block(p: *const u8) -> u8 {
+    unsafe { *p } // finding: undocumented
+}
+
+// finding: undocumented unsafe fn
+unsafe fn bad_fn(p: *const u8) -> u8 {
+    *p
+}
+
+fn fine_block(v: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees v is non-empty.
+    unsafe { *v.as_ptr() }
+}
+
+// SAFETY: caller must pass a valid, aligned, initialized pointer.
+unsafe fn fine_fn(p: *const u8) -> u8 {
+    *p
+}
+
+// SAFETY: comments above attributes still attach to the item.
+#[inline]
+unsafe fn fine_fn_behind_attr(p: *const u8) -> u8 {
+    *p
+}
+
+fn fine_in_string() -> &'static str {
+    "unsafe { } inside a string literal is not a finding"
+}

@@ -171,11 +171,25 @@ impl Request {
     /// `reconstruct`, the GC moves), or — given re-entrant locking — a
     /// `trylock` by the same caller.
     pub fn is_idempotent(&self) -> bool {
+        // Exhaustive on purpose (no `_` arm): a new Request variant must
+        // be classified here or the build breaks — the ajx-lint
+        // codec-exhaustive rule additionally requires every variant name
+        // to appear in this body.
         match self {
             Request::Swap { .. } | Request::Add { .. } => false,
             // A batch may be re-sent only if every member may.
             Request::Batch(reqs) => reqs.iter().all(Request::is_idempotent),
-            _ => true,
+            Request::Read { .. }
+            | Request::CheckTid { .. }
+            | Request::TryLock { .. }
+            | Request::SetLock { .. }
+            | Request::GetState { .. }
+            | Request::GetRecent { .. }
+            | Request::Reconstruct { .. }
+            | Request::Finalize { .. }
+            | Request::GcOld { .. }
+            | Request::GcRecent { .. }
+            | Request::Probe { .. } => true,
         }
     }
 
@@ -196,7 +210,18 @@ impl Request {
                         .map(|r| r.wire_bytes() - MSG_HEADER_BYTES)
                         .sum::<usize>()
             }
-            _ => 0,
+            // Header-only requests, named one by one so a new payload-
+            // carrying variant cannot silently fall into the zero bucket.
+            Request::Read { .. }
+            | Request::CheckTid { .. }
+            | Request::TryLock { .. }
+            | Request::SetLock { .. }
+            | Request::GetState { .. }
+            | Request::GetRecent { .. }
+            | Request::Finalize { .. }
+            | Request::GcOld { .. }
+            | Request::GcRecent { .. }
+            | Request::Probe { .. } => 0,
         };
         MSG_HEADER_BYTES + payload
     }
@@ -259,7 +284,16 @@ impl Reply {
                         .map(|r| r.wire_bytes() - MSG_HEADER_BYTES)
                         .sum::<usize>()
             }
-            _ => 0,
+            // Header-only replies, named one by one for the same reason as
+            // `Request::wire_bytes`.
+            Reply::Add(_)
+            | Reply::CheckTid(_)
+            | Reply::TryLock(_)
+            | Reply::Ack
+            | Reply::Reconstruct(_)
+            | Reply::Gc(_)
+            | Reply::Probe { .. }
+            | Reply::NoCode => 0,
         };
         MSG_HEADER_BYTES + payload
     }
@@ -475,6 +509,9 @@ impl StorageNode {
                     oldest_pending_age,
                 }
             }
+            // LINT-ALLOW(panic-free: handle() routes every Batch — nested
+            // ones included — through its own arm, and handle_one is
+            // private to this file; this arm cannot be reached by input)
             Request::Batch(_) => unreachable!("batches are unpacked by handle()"),
         };
 

@@ -42,13 +42,122 @@ use std::sync::Arc;
 /// is journaled whole if any member mutates, because it executes — and
 /// must recover — atomically.
 fn is_journaled(req: &Request) -> bool {
+    // Exhaustive on purpose (no `_` arm): a new Request variant must be
+    // classified here or the build breaks — the ajx-lint codec-exhaustive
+    // rule additionally requires every variant name to appear here, so a
+    // mutating variant can never silently skip the journal.
     match req {
         Request::Read { .. }
         | Request::GetState { .. }
         | Request::Probe { .. }
         | Request::CheckTid { .. } => false,
         Request::Batch(members) => members.iter().any(is_journaled),
-        _ => true,
+        Request::Swap { .. }
+        | Request::Add { .. }
+        | Request::TryLock { .. }
+        | Request::SetLock { .. }
+        | Request::GetRecent { .. }
+        | Request::Reconstruct { .. }
+        | Request::Finalize { .. }
+        | Request::GcOld { .. }
+        | Request::GcRecent { .. } => true,
+    }
+}
+
+/// RAII guard for one shard's lock, acquired only through
+/// [`ShardedNode::lock_shard`] / [`ShardedNode::lock_all_shards`].
+///
+/// In debug builds the guard carries its (node, shard-index) identity and
+/// reports its release to the lock-order watchdog, so any acquisition
+/// that breaks the ascending-index discipline (DESIGN.md §9) asserts at
+/// the acquisition site instead of deadlocking some later run.
+#[derive(Debug)]
+pub(crate) struct ShardGuard<'a> {
+    guard: MutexGuard<'a, StorageNode>,
+    #[cfg(debug_assertions)]
+    node_token: usize,
+    #[cfg(debug_assertions)]
+    idx: usize,
+}
+
+impl<'a> ShardGuard<'a> {
+    fn new(guard: MutexGuard<'a, StorageNode>, node_token: usize, idx: usize) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = (node_token, idx);
+        ShardGuard {
+            guard,
+            #[cfg(debug_assertions)]
+            node_token,
+            #[cfg(debug_assertions)]
+            idx,
+        }
+    }
+}
+
+impl std::ops::Deref for ShardGuard<'_> {
+    type Target = StorageNode;
+    fn deref(&self) -> &StorageNode {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for ShardGuard<'_> {
+    fn deref_mut(&mut self) -> &mut StorageNode {
+        &mut self.guard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for ShardGuard<'_> {
+    fn drop(&mut self) {
+        // Runs before the inner `MutexGuard` field drops, so the watchdog
+        // forgets the lock no later than the mutex actually releases.
+        watchdog::on_release(self.node_token, self.idx);
+    }
+}
+
+/// Debug-build lock-order watchdog: tracks, per thread, which shard
+/// indices of which node are currently held, and asserts that every new
+/// acquisition has a strictly higher index than anything already held on
+/// the same node. Threads never hold shards of two nodes at once in this
+/// codebase, but the per-node keying keeps the watchdog honest if that
+/// ever changes.
+#[cfg(debug_assertions)]
+mod watchdog {
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// `(node-token, shard-idx)` pairs this thread currently holds.
+        static HELD: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn on_acquire(node_token: usize, idx: usize) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            let top = held
+                .iter()
+                .filter(|&&(t, _)| t == node_token)
+                .map(|&(_, i)| i)
+                .max();
+            if let Some(top) = top {
+                assert!(
+                    idx > top,
+                    "shard-lock order violation: acquiring shard {idx} while shard {top} \
+                     is held on the same node — acquire in strictly ascending index order \
+                     via lock_shard/lock_all_shards (DESIGN.md §9, §11)"
+                );
+            }
+            held.push((node_token, idx));
+        });
+    }
+
+    pub(super) fn on_release(node_token: usize, idx: usize) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&(t, i)| t == node_token && i == idx) {
+                held.remove(pos);
+            }
+        });
     }
 }
 
@@ -121,10 +230,13 @@ impl ShardedNode {
 
     /// Equips every shard with the erasure code for broadcast-mode scaled
     /// adds (§3.11).
-    pub fn with_code(self, code: ReedSolomon) -> Self {
-        for shard in &self.shards {
-            let sn = std::mem::replace(&mut *shard.lock(), StorageNode::new(self.id, 0));
-            *shard.lock() = sn.with_code(code.clone());
+    pub fn with_code(mut self, code: ReedSolomon) -> Self {
+        let id = self.id;
+        for shard in &mut self.shards {
+            // Builder holds the node exclusively: no locking needed.
+            let slot = shard.get_mut();
+            let sn = std::mem::replace(slot, StorageNode::new(id, 0));
+            *slot = sn.with_code(code.clone());
         }
         self
     }
@@ -157,15 +269,45 @@ impl ShardedNode {
     }
 
     /// Acquires one shard lock, counting whether the acquisition contended.
-    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, StorageNode> {
+    ///
+    /// Together with [`ShardedNode::lock_all_shards`], this is the only
+    /// place shard mutexes are touched directly (enforced by the ajx-lint
+    /// `lock-order` rule): routing every acquisition through here keeps
+    /// the ascending-index discipline auditable and, in debug builds,
+    /// feeds the lock-order watchdog.
+    fn lock_shard(&self, idx: usize) -> ShardGuard<'_> {
+        // Checked *before* blocking on the mutex, so a would-be deadlock
+        // asserts with both shard indices instead of hanging.
+        #[cfg(debug_assertions)]
+        watchdog::on_acquire(self as *const Self as usize, idx);
         self.shard_locks.fetch_add(1, Ordering::Relaxed);
-        match self.shards[idx].try_lock() {
+        // LINT-ALLOW(panic-free: idx is a shard_of() result or an
+        // enumeration below n_shards, both strictly below shards.len())
+        let shard = &self.shards[idx];
+        let guard = match shard.try_lock() {
             Some(g) => g,
             None => {
                 self.contended_locks.fetch_add(1, Ordering::Relaxed);
-                self.shards[idx].lock()
+                shard.lock()
             }
-        }
+        };
+        ShardGuard::new(guard, self as *const Self as usize, idx)
+    }
+
+    /// Locks every shard in ascending index order — the only sanctioned
+    /// whole-node acquisition pattern (recovery, remap, monitoring).
+    /// These acquisitions are deliberately *not* counted in the request
+    /// contention instrumentation.
+    fn lock_all_shards(&self) -> Vec<ShardGuard<'_>> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(idx, shard)| {
+                #[cfg(debug_assertions)]
+                watchdog::on_acquire(self as *const Self as usize, idx);
+                ShardGuard::new(shard.lock(), self as *const Self as usize, idx)
+            })
+            .collect()
     }
 
     /// Shard-lock acquisitions performed for request handling.
@@ -193,11 +335,7 @@ impl ShardedNode {
     }
 
     /// Applies a request against already-held shard guards (batch path).
-    fn apply_locked(
-        &self,
-        req: Request,
-        guards: &mut BTreeMap<usize, MutexGuard<'_, StorageNode>>,
-    ) -> Reply {
+    fn apply_locked(&self, req: Request, guards: &mut BTreeMap<usize, ShardGuard<'_>>) -> Reply {
         match req {
             Request::Batch(members) => Reply::Batch(
                 members
@@ -211,6 +349,10 @@ impl ShardedNode {
                     other,
                     Request::Swap { .. } | Request::Add { .. } | Request::Reconstruct { .. }
                 );
+                // LINT-ALLOW(panic-free: handle() collected and locked the
+                // shard set of the whole batch before the first
+                // apply_locked call, and recursion only visits members of
+                // that same batch, so the entry is always present)
                 let shard = guards
                     .get_mut(&self.shard_of(stripe))
                     .expect("batch shard set was locked up front");
@@ -237,7 +379,7 @@ impl ShardedNode {
                 let mut shard_set = std::collections::BTreeSet::new();
                 self.collect_shards(&req, &mut shard_set);
                 // Ascending acquisition: BTreeSet iterates in order.
-                let mut guards: BTreeMap<usize, MutexGuard<'_, StorageNode>> = shard_set
+                let mut guards: BTreeMap<usize, ShardGuard<'_>> = shard_set
                     .into_iter()
                     .map(|idx| (idx, self.lock_shard(idx)))
                     .collect();
@@ -246,6 +388,8 @@ impl ShardedNode {
                 if is_journaled(&req) {
                     self.persist.append(WalRecordRef::Apply(&req));
                 }
+                // LINT-ALLOW(panic-free: the arm pattern `req @
+                // Request::Batch(_)` proves this destructure succeeds)
                 let Request::Batch(members) = req else { unreachable!() };
                 Reply::Batch(
                     members
@@ -322,9 +466,7 @@ impl ShardedNode {
     /// *fresh* medium: the journal is discarded and restarted with the
     /// remap event, so a later restart-with-disk replays onto garbage.
     pub fn fail_remap(&self, garbage_byte: u8) {
-        // Ascending shard order, same as every other multi-shard acquirer.
-        let mut guards: Vec<MutexGuard<'_, StorageNode>> =
-            self.shards.iter().map(|s| s.lock()).collect();
+        let mut guards = self.lock_all_shards();
         for g in &mut guards {
             g.fail_remap(garbage_byte);
         }
@@ -342,8 +484,7 @@ impl ShardedNode {
     /// single journal record sits at a point that is a valid
     /// linearization of the node's execution order.
     pub fn on_client_failure(&self, client: ClientId) -> usize {
-        let mut guards: Vec<MutexGuard<'_, StorageNode>> =
-            self.shards.iter().map(|s| s.lock()).collect();
+        let mut guards = self.lock_all_shards();
         self.persist.append(WalRecordRef::ClientFailure(client));
         let expired = guards
             .iter_mut()
@@ -371,8 +512,7 @@ impl ShardedNode {
         let Some(records) = self.persist.replay() else {
             return false;
         };
-        let mut guards: Vec<MutexGuard<'_, StorageNode>> =
-            self.shards.iter().map(|s| s.lock()).collect();
+        let mut guards = self.lock_all_shards();
         for g in &mut guards {
             g.reset();
         }
@@ -400,7 +540,7 @@ impl ShardedNode {
 
     /// Re-applies one journaled request during replay, routing each leaf
     /// to its shard (batch members in order, like the live batch path).
-    fn replay_request(&self, guards: &mut [MutexGuard<'_, StorageNode>], req: Request) {
+    fn replay_request(&self, guards: &mut [ShardGuard<'_>], req: Request) {
         match req {
             Request::Batch(members) => {
                 for m in members {
@@ -409,6 +549,8 @@ impl ShardedNode {
             }
             other => {
                 let idx = self.shard_of(other.stripe());
+                // LINT-ALLOW(panic-free: guards holds one entry per shard
+                // and shard_of() is always below shards.len())
                 guards[idx].handle(other);
             }
         }
@@ -421,7 +563,7 @@ impl ShardedNode {
     pub fn lock_all(&self) -> NodeView<'_> {
         NodeView {
             node: self,
-            guards: self.shards.iter().map(|s| s.lock()).collect(),
+            guards: self.lock_all_shards(),
         }
     }
 }
@@ -433,10 +575,25 @@ impl ShardedNode {
 pub struct NodeView<'a> {
     node: &'a ShardedNode,
     /// One guard per shard, indexed by shard number.
-    guards: Vec<MutexGuard<'a, StorageNode>>,
+    guards: Vec<ShardGuard<'a>>,
 }
 
 impl NodeView<'_> {
+    /// The shard state machine covering `stripe`.
+    fn shard(&self, stripe: StripeId) -> &StorageNode {
+        // LINT-ALLOW(panic-free: guards holds one entry per shard and
+        // shard_of() is always below shards.len())
+        &self.guards[self.node.shard_of(stripe)]
+    }
+
+    /// Mutable access to the shard state machine covering `stripe`.
+    fn shard_mut(&mut self, stripe: StripeId) -> &mut StorageNode {
+        let idx = self.node.shard_of(stripe);
+        // LINT-ALLOW(panic-free: guards holds one entry per shard and
+        // shard_of() is always below shards.len())
+        &mut self.guards[idx]
+    }
+
     /// The node's identity.
     pub fn id(&self) -> NodeId {
         self.node.id
@@ -482,13 +639,12 @@ impl NodeView<'_> {
 
     /// Direct access to a stripe-block's state (tests and monitoring only).
     pub fn block_state(&self, stripe: StripeId) -> Option<&BlockState> {
-        self.guards[self.node.shard_of(stripe)].block_state(stripe)
+        self.shard(stripe).block_state(stripe)
     }
 
     /// Mutable access for fault-injection in tests.
     pub fn block_state_mut(&mut self, stripe: StripeId) -> Option<&mut BlockState> {
-        let idx = self.node.shard_of(stripe);
-        self.guards[idx].block_state_mut(stripe)
+        self.shard_mut(stripe).block_state_mut(stripe)
     }
 
     /// Stripes this node currently holds state for (unordered).
@@ -533,8 +689,7 @@ impl NodeView<'_> {
                     other,
                     Request::Swap { .. } | Request::Add { .. } | Request::Reconstruct { .. }
                 );
-                let idx = self.node.shard_of(stripe);
-                let reply = self.guards[idx].handle(other);
+                let reply = self.shard_mut(stripe).handle(other);
                 if mutates && !matches!(reply, Reply::NoCode) {
                     self.node.account_media_write(stripe);
                 }
@@ -791,5 +946,55 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn watchdog_allows_ascending_and_reacquisition() {
+        let node = ShardedNode::new(NodeId(9), 8, 4);
+        let a = node.lock_shard(0);
+        let b = node.lock_shard(2);
+        let c = node.lock_shard(3);
+        drop(c);
+        drop(b);
+        drop(a);
+        // After release the order state resets: a lower index is fine again.
+        let d = node.lock_shard(1);
+        drop(d);
+        // Whole-node acquisition is ascending by construction.
+        let view = node.lock_all();
+        drop(view);
+    }
+
+    #[test]
+    fn watchdog_catches_descending_acquisition() {
+        if !cfg!(debug_assertions) {
+            return; // the watchdog compiles out of release builds
+        }
+        let node = ShardedNode::new(NodeId(9), 8, 4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _hi = node.lock_shard(2);
+            let _lo = node.lock_shard(1); // descending: must assert
+        }));
+        assert!(
+            result.is_err(),
+            "descending shard-lock acquisition must trip the lock-order watchdog"
+        );
+        // The unwound guards reported their release: ascending works again.
+        let a = node.lock_shard(1);
+        let b = node.lock_shard(2);
+        drop(b);
+        drop(a);
+    }
+
+    #[test]
+    fn watchdog_tracks_nodes_independently() {
+        // Holding a high shard on one node must not forbid a low shard on
+        // another: the ordering discipline is per node.
+        let n1 = ShardedNode::new(NodeId(1), 8, 4);
+        let n2 = ShardedNode::new(NodeId(2), 8, 4);
+        let hi = n1.lock_shard(3);
+        let lo = n2.lock_shard(0);
+        drop(lo);
+        drop(hi);
     }
 }

@@ -211,6 +211,8 @@ fn spawn_node_workers(
                     let _ = job.reply_tx.send(Ok(reply));
                 }
             })
+            // LINT-ALLOW(panic-free: setup path — worker threads spawn at
+            // network construction, before any request is in flight)
             .expect("spawn node worker");
     }
 }
@@ -418,6 +420,8 @@ impl Network {
     ///
     /// Panics if the node id is out of range.
     pub fn with_node<R>(&self, node: NodeId, f: impl FnOnce(&mut NodeView<'_>) -> R) -> R {
+        // LINT-ALLOW(panic-free: test/monitoring path with a documented
+        // `# Panics` contract, never reached by request handling)
         let slot = &self.slots[node.0 as usize];
         f(&mut slot.node.lock_all())
     }
@@ -740,17 +744,17 @@ impl ClientEndpoint {
     pub fn call_many(&self, calls: Vec<(NodeId, Request)>) -> Vec<Result<Reply, RpcError>> {
         // Budget + client NIC serialization per request.
         let mut admitted = Vec::with_capacity(calls.len());
-        let mut gate: Vec<Option<RpcError>> = Vec::with_capacity(calls.len());
+        let mut gate: Vec<Result<NodeId, RpcError>> = Vec::with_capacity(calls.len());
         for (node, req) in calls {
             match self.consume_budget() {
-                Err(e) => gate.push(Some(e)),
+                Err(e) => gate.push(Err(e)),
                 Ok(()) => {
                     let bytes = req.wire_bytes();
                     if let Some(nic) = &self.nic {
                         nic.consume(bytes);
                     }
                     self.stats.record_send(bytes);
-                    gate.push(None);
+                    gate.push(Ok(node));
                     admitted.push((node, req));
                 }
             }
@@ -758,9 +762,15 @@ impl ClientEndpoint {
         let mut delivered = self.net.deliver_batch(self, admitted).into_iter();
         gate.into_iter()
             .map(|g| match g {
-                Some(e) => Err(e),
-                None => {
-                    let r = delivered.next().expect("reply per admitted call");
+                Err(e) => Err(e),
+                Ok(node) => {
+                    // `deliver_batch` answers every admitted call; if it
+                    // ever came up short, surface the torn-network error
+                    // (indeterminate, like a closed reply channel) instead
+                    // of panicking inside the client.
+                    let r = delivered
+                        .next()
+                        .unwrap_or(Err(RpcError::NetTornDown(node)));
                     if let Ok(reply) = &r {
                         let bytes = reply.wire_bytes();
                         if let Some(nic) = &self.nic {
@@ -783,13 +793,13 @@ impl ClientEndpoint {
     /// `requests` normally differ only in their target; the payload of the
     /// first is charged to the client NIC, modeling link-layer multicast.
     pub fn broadcast(&self, requests: Vec<(NodeId, Request)>) -> Vec<Result<Reply, RpcError>> {
-        if requests.is_empty() {
+        let Some((_, first)) = requests.first() else {
             return Vec::new();
-        }
+        };
         if let Err(e) = self.consume_budget() {
             return vec![Err(e); requests.len()];
         }
-        let shared_bytes = requests[0].1.wire_bytes();
+        let shared_bytes = first.wire_bytes();
         if let Some(nic) = &self.nic {
             nic.consume(shared_bytes);
         }
@@ -888,6 +898,8 @@ impl ClientEndpoint {
             return None;
         }
         match std::mem::replace(&mut call.state, PendingState::Done) {
+            // LINT-ALLOW(panic-free: documented `# Panics` contract for
+            // local API misuse — not reachable from remote input)
             PendingState::Done => panic!("poll_call on an already-resolved call"),
             PendingState::Failed(e) => Some(Err(e)),
             PendingState::Arrived(result) => Some(self.finish_call(call, result, now)),
