@@ -12,7 +12,7 @@ use ajx_bench::{banner, measure_us, render_table};
 use ajx_cluster::{drive, Cluster, Workload};
 use ajx_core::{find_consistent, ProtocolConfig, UpdateStrategy};
 use ajx_storage::{
-    ClientId, FlushPolicy, GetStateReply, NodeId, OpMode, Request, StorageNode, StripeId, Tid,
+    ClientId, Epoch, FlushPolicy, GetStateReply, NodeId, OpMode, Request, StorageNode, StripeId, Tid,
     TidEntry,
 };
 use std::time::{Duration, Instant};
@@ -179,6 +179,7 @@ fn find_consistent_ablation() {
             oldlist: vec![],
             recentlist: vec![],
             block: Some(vec![0]),
+            epoch: Epoch(0),
         })
         .collect();
     // Write A (block 0) reached nodes 0, 4, 5; write B (block 2) reached

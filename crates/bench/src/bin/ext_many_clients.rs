@@ -77,7 +77,7 @@ fn bench_point(clients: usize, read_pct: u32) -> Point {
         server_threads: 2,
         node_queue_depth: Some(4096),
         state_shards: 16,
-        code: Some((*cfg.code).clone()),
+        code: Some(cfg.code.clone()),
         ..NetworkConfig::default()
     });
     let opts = MuxOptions {

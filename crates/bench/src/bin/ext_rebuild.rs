@@ -11,9 +11,16 @@
 //!   repairing every stripe with a serial per-stripe `recover_stripe`
 //!   loop vs the batched `rebuild_node` engine.
 //!
-//! Two acceptance gates are asserted, not just printed: the engine must
-//! beat the serial loop by ≥ 4× on the (4, 8, 256-stripe) point, and the
-//! degraded reads must issue **zero** lock RPCs.
+//! * **repair bandwidth** — block-content bytes on the wire per lost
+//!   block when rebuilding a failed node, RS(12, 16) against the locally
+//!   repairable LRC(12, 3, 1) code at the same (k, n) shape. A single
+//!   loss inside an LRC local group decodes from the ~k/g-block group
+//!   instead of k blocks, so the bytes-per-lost-block figure drops.
+//!
+//! Three acceptance gates are asserted, not just printed: the engine must
+//! beat the serial loop by ≥ 4× on the (4, 8, 256-stripe) point, the
+//! degraded reads must issue **zero** lock RPCs, and the LRC rebuild must
+//! move ≤ 0.5× the RS repair bytes per lost block.
 //!
 //! Prints a JSON document on stdout; `tools/check.sh` redirects the
 //! `--smoke` variant to `BENCH_recovery.json` at the repo root.
@@ -49,7 +56,12 @@ impl Cost {
 
 /// A fresh cluster with `stripes` full stripes written.
 fn loaded_cluster(k: usize, n: usize, stripes: u64, degraded_reads: bool) -> Cluster {
-    let mut cfg = ProtocolConfig::new(k, n, BLOCK).expect("valid code");
+    loaded_cluster_with(ProtocolConfig::new(k, n, BLOCK).expect("valid code"), stripes, degraded_reads)
+}
+
+/// Same, but for an arbitrary code family.
+fn loaded_cluster_with(mut cfg: ProtocolConfig, stripes: u64, degraded_reads: bool) -> Cluster {
+    let (k, n) = (cfg.k(), cfg.n());
     cfg.degraded_reads = degraded_reads;
     let cluster = Cluster::with_network(
         cfg,
@@ -184,6 +196,7 @@ fn bench_point(k: usize, n: usize, stripes: u64, reps: usize) -> String {
 
     // MB/s of lost data repaired: one block per stripe lived on the victim.
     let repaired = stripes as f64 * BLOCK as f64;
+    let lost_blocks = (report.rebuilt + report.recovered).max(1) as u64;
     format!(
         concat!(
             "    {{\"k\":{},\"n\":{},\"stripes\":{},\n",
@@ -191,8 +204,10 @@ fn bench_point(k: usize, n: usize, stripes: u64, reps: usize) -> String {
             "\"recovery_read_p50_us\":{:.1},\"lock_rpcs\":{},\"reads\":{},",
             "\"round_trips\":{},\"bytes_sent\":{}}},\n",
             "     \"rebuild\":{{\"serial\":{},\"engine\":{},\"speedup\":{:.2},",
-            "\"serial_mb_s\":{:.1},\"engine_mb_s\":{:.1},\n",
-            "      \"report\":{{\"stripes\":{},\"skipped\":{},\"rebuilt\":{},\"recovered\":{}}}}}}}"
+            "\"serial_mb_s\":{:.1},\"engine_mb_s\":{:.1},",
+            "\"repair_bytes_per_lost_block\":{:.1},\n",
+            "      \"report\":{{\"stripes\":{},\"skipped\":{},\"rebuilt\":{},\"recovered\":{},",
+            "\"repair_bytes\":{},\"round_trips\":{}}}}}}}"
         ),
         k,
         n,
@@ -209,10 +224,59 @@ fn bench_point(k: usize, n: usize, stripes: u64, reps: usize) -> String {
         speedup,
         repaired / serial.micros, // bytes/µs == MB/s
         repaired / engine.micros,
+        report.repair_bytes as f64 / lost_blocks as f64,
         report.stripes,
         report.skipped,
         report.rebuilt,
         report.recovered,
+        report.repair_bytes,
+        report.round_trips,
+    )
+}
+
+/// Rebuild a crashed node and return block-content bytes moved per lost
+/// block, plus round trips per lost block.
+fn rebuild_repair_cost(cfg: ProtocolConfig, stripes: u64) -> (f64, f64) {
+    let cluster = loaded_cluster_with(cfg, stripes, true);
+    cluster.crash_storage_node(VICTIM);
+    let report = cluster.client(0).rebuild_node(VICTIM, stripes).expect("rebuild");
+    for s in 0..stripes {
+        assert!(cluster.stripe_is_consistent(StripeId(s)), "stripe {s} broken");
+    }
+    // Single-node loss: every repaired stripe had exactly one block on the
+    // victim, so repaired stripes == lost blocks.
+    let lost = (report.rebuilt + report.recovered).max(1) as f64;
+    (report.repair_bytes as f64 / lost, report.round_trips as f64 / lost)
+}
+
+/// The repair-bandwidth arm: RS(12, 16) vs Pyramid LRC(12, 3, 1) — same
+/// k, same n, one storage node lost. Asserts the ≥ 2× bytes-on-wire win.
+fn repair_bandwidth_point(stripes: u64) -> String {
+    let (rs_bytes, rs_rts) =
+        rebuild_repair_cost(ProtocolConfig::new(12, 16, BLOCK).expect("valid rs"), stripes);
+    let (lrc_bytes, lrc_rts) =
+        rebuild_repair_cost(ProtocolConfig::new_lrc(12, 3, 1, BLOCK).expect("valid lrc"), stripes);
+    let ratio = lrc_bytes / rs_bytes;
+    assert!(
+        ratio <= 0.5,
+        "LRC repair must move at most half the RS bytes per lost block \
+         (rs {rs_bytes:.1} B, lrc {lrc_bytes:.1} B, ratio {ratio:.3})"
+    );
+    format!(
+        concat!(
+            "    {{\"k\":12,\"n\":16,\"stripes\":{},\n",
+            "     \"repair_bandwidth\":{{",
+            "\"rs\":{{\"repair_bytes_per_lost_block\":{:.1},\"round_trips_per_lost_block\":{:.2}}},",
+            "\"lrc_g3_h1\":{{\"repair_bytes_per_lost_block\":{:.1},\"round_trips_per_lost_block\":{:.2}}},\n",
+            "      \"lrc_over_rs_bytes\":{:.3},\"lrc_repair_ratio_pass\":{}}}}}"
+        ),
+        stripes,
+        rs_bytes,
+        rs_rts,
+        lrc_bytes,
+        lrc_rts,
+        ratio,
+        ratio <= 0.5,
     )
 }
 
@@ -228,6 +292,7 @@ fn main() {
     for &(k, n, stripes) in combos {
         points.push(bench_point(k, n, stripes, reps));
     }
+    points.push(repair_bandwidth_point(if smoke { 32 } else { 128 }));
 
     println!("{{");
     println!("  \"experiment\": \"ext_rebuild\",");

@@ -79,7 +79,7 @@ impl Cluster {
     pub fn with_network(cfg: ProtocolConfig, n_clients: usize, mut net_cfg: NetworkConfig) -> Self {
         net_cfg.n_nodes = cfg.n();
         net_cfg.block_size = cfg.block_size;
-        net_cfg.code = Some((*cfg.code).clone());
+        net_cfg.code = Some(cfg.code.clone());
         let net = Network::new(net_cfg);
         let clients = (0..n_clients)
             .map(|i| Arc::new(Client::new(net.client(ClientId(i as u32)), cfg.clone())))

@@ -2,7 +2,7 @@
 
 use crate::backoff::BackoffPolicy;
 use crate::resilience;
-use ajx_erasure::{CodeError, PlanCache, ReedSolomon, StripeLayout};
+use ajx_erasure::{CodeError, CodeFamily, PlanCache, StripeLayout};
 use std::sync::Arc;
 
 /// How a `WRITE` updates the redundant blocks (Fig. 1's AJX-ser / AJX-par /
@@ -73,8 +73,11 @@ impl UpdateStrategy {
 /// Configuration shared by all clients of one storage service.
 #[derive(Debug, Clone)]
 pub struct ProtocolConfig {
-    /// The erasure code (defines `k` and `n`).
-    pub code: Arc<ReedSolomon>,
+    /// The erasure code (defines `k` and `n`). Either plain Reed-Solomon
+    /// or the pyramid LRC tier (`CodeFamily::Lrc`); all delta/verify paths
+    /// go through the shared systematic view, while rebuild and degraded
+    /// reads ask [`CodeFamily::repair_plan`] for the cheapest repair set.
+    pub code: CodeFamily,
     /// Stripe-to-node placement (§3.11 rotation).
     pub layout: StripeLayout,
     /// Block size in bytes.
@@ -146,15 +149,33 @@ impl ProtocolConfig {
     /// [`ProtocolConfig::validate`], not here, so experiments can also probe
     /// configurations outside them.
     pub fn new(k: usize, n: usize, block_size: usize) -> Result<Self, CodeError> {
-        let code = Arc::new(ReedSolomon::new(k, n)?);
-        let layout = StripeLayout::new(k, n).expect("validated by ReedSolomon::new");
+        Self::with_code(CodeFamily::rs(k, n)?, block_size)
+    }
+
+    /// Builds a configuration for a pyramid LRC code: `k` data blocks in
+    /// `g` local groups (one local parity each) plus `h` global parities,
+    /// so `n = k + g + h`. Defaults `t_d` to the code's erasure tolerance
+    /// `h + 1` (any `h + 1` lost blocks stay decodable; some larger
+    /// patterns do too, but are not guaranteed).
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::InvalidParams`] for an invalid `(k, g, h)`.
+    pub fn new_lrc(k: usize, g: usize, h: usize, block_size: usize) -> Result<Self, CodeError> {
+        Self::with_code(CodeFamily::lrc(k, g, h)?, block_size)
+    }
+
+    fn with_code(code: CodeFamily, block_size: usize) -> Result<Self, CodeError> {
+        let (k, n) = (code.k(), code.n());
+        let t_d = code.tolerated_failures();
+        let layout = StripeLayout::new(k, n).expect("validated by the code constructor");
         Ok(ProtocolConfig {
             code,
             layout,
             block_size,
             strategy: UpdateStrategy::Parallel,
             t_p: 0,
-            t_d: n - k,
+            t_d,
             order_retry_limit: 64,
             busy_retry_limit: 512,
             drain_patience: 3,

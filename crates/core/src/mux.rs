@@ -533,7 +533,7 @@ mod tests {
         let mut nc = NetworkConfig {
             n_nodes: cfg.n(),
             block_size: cfg.block_size,
-            code: Some((*cfg.code).clone()),
+            code: Some(cfg.code.clone()),
             ..NetworkConfig::default()
         };
         extra(&mut nc);

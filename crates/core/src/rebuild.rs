@@ -54,6 +54,12 @@ pub struct RebuildReport {
     /// Stripes handed to serial Fig. 6 recovery (lost lock races, adopted
     /// crashed recoveries, draining writes, transport trouble).
     pub recovered: usize,
+    /// Block-content bytes this call moved over the wire, both directions
+    /// (headers and metadata-only messages excluded) — the repair-bandwidth
+    /// figure `BENCH_recovery.json` compares across code families.
+    pub repair_bytes: u64,
+    /// Request/reply round trips this call completed.
+    pub round_trips: u64,
 }
 
 impl RebuildReport {
@@ -67,6 +73,22 @@ impl RebuildReport {
 
 /// Entry point behind [`Client::rebuild_stripes`].
 pub(crate) fn rebuild_stripes(
+    client: &Client,
+    stripes: &[StripeId],
+) -> Result<RebuildReport, ProtocolError> {
+    // Byte accounting: everything this call sends and receives goes
+    // through the one client endpoint, so a snapshot delta is exactly the
+    // rebuild's traffic (payload counters skip headers and metadata-only
+    // rounds by construction).
+    let before = client.endpoint().stats().snapshot();
+    let mut report = rebuild_all_chunks(client, stripes)?;
+    let spent = client.endpoint().stats().snapshot().since(&before);
+    report.repair_bytes = spent.payload_sent + spent.payload_received;
+    report.round_trips = spent.round_trips;
+    Ok(report)
+}
+
+fn rebuild_all_chunks(
     client: &Client,
     stripes: &[StripeId],
 ) -> Result<RebuildReport, ProtocolError> {
@@ -226,7 +248,10 @@ fn rebuild_chunk(client: &Client, chunk: &[StripeId]) -> Result<RebuildReport, P
         }
     }
 
-    // ---- Phase 2: one batched GetState per node across all stripes. -----
+    // ---- Phase 2a: one batched metadata-only round across all stripes. --
+    // `GetMeta` carries the tid bookkeeping, opmode, and epoch of every
+    // block but **no block content** — classification is free of payload
+    // bytes, and the states are frozen under the L1 locks.
     let mut states: Vec<Vec<Option<GetStateReply>>> = vec![vec![]; chunk.len()];
     for &x in &live {
         states[x] = (0..n).map(|_| None).collect();
@@ -237,7 +262,7 @@ fn rebuild_chunk(client: &Client, chunk: &[StripeId]) -> Result<RebuildReport, P
             .flat_map(|&x| (0..n).map(move |t| (x, t)))
             .collect();
         let groups = group_by_node(chunk, pairs, node_of);
-        let calls = batched_calls(&groups, |&(x, _)| Request::GetState { stripe: chunk[x] });
+        let calls = batched_calls(&groups, |&(x, _)| Request::GetMeta { stripe: chunk[x] });
         let mut dropped: BTreeSet<usize> = BTreeSet::new();
         for ((_, xs), res) in groups.iter().zip(call_many(endpoint, cfg, calls)) {
             match res {
@@ -262,9 +287,24 @@ fn rebuild_chunk(client: &Client, chunk: &[StripeId]) -> Result<RebuildReport, P
     // fast path never weakens). A RECONS node (adopted crashed recovery)
     // or fewer than k + slack consistent blocks (writes mid-drain) go to
     // the serial fallback, which drains and adopts correctly.
-    let mut jobs: Vec<(usize, Vec<usize>, Vec<Vec<u8>>)> = Vec::new();
+    //
+    // For each consistent stripe the lost indices (everything outside the
+    // consistent set) get a per-index repair plan from the code family:
+    // ~`k/g + 1` shares on an LRC, `k` on Reed-Solomon. Only the union of
+    // the plans' share indices is fetched with blocks in phase 2b — the
+    // bytes-on-wire win this engine exists for.
+    struct FastJob {
+        x: usize,
+        cset: Vec<usize>,
+        plans: Vec<std::sync::Arc<ajx_erasure::RepairPlan>>,
+        /// Highest epoch any of the stripe's n nodes reported in the meta
+        /// round: Finalize must outbid *every* node, not just the ones it
+        /// reconstructs (`finalize` sets the epoch unconditionally).
+        epoch: Epoch,
+    }
+    let mut jobs: Vec<FastJob> = Vec::new();
     for &x in &live {
-        let mut sts: Vec<GetStateReply> = states[x]
+        let sts: Vec<GetStateReply> = states[x]
             .iter_mut()
             .map(|s| s.take().expect("live stripes have all n states"))
             .collect();
@@ -279,38 +319,113 @@ fn rebuild_chunk(client: &Client, chunk: &[StripeId]) -> Result<RebuildReport, P
             fallback.insert(x);
             continue;
         }
-        let key: Vec<usize> = cset.iter().take(k).copied().collect();
-        match crate::recovery::reconstruct_blocks(cfg, &key, &mut sts) {
-            Ok(blocks) => jobs.push((x, cset, blocks)),
-            // Malformed node replies (ragged blocks) — cannot happen with
-            // well-behaved nodes, but the fallback handles it regardless.
-            Err(_) => {
+        let epoch = sts.iter().map(|s| s.epoch).max().unwrap_or(Epoch(0));
+        let in_cset: BTreeSet<usize> = cset.iter().copied().collect();
+        let lost: Vec<usize> = (0..n).filter(|t| !in_cset.contains(t)).collect();
+        let plans: Option<Vec<_>> = lost
+            .iter()
+            .map(|&t| cfg.plan_cache.repair(&cfg.code, t, &cset))
+            .collect();
+        match plans {
+            Some(plans) => jobs.push(FastJob { x, cset, plans, epoch }),
+            // The consistent set cannot repair some lost index (an LRC
+            // rank deficit past its guarantee): serial recovery decides.
+            None => {
                 fallback.insert(x);
             }
         }
     }
 
-    // ---- Phase 3: batched Reconstruct, then batched Finalize. -----------
+    // ---- Phase 2b: fetch blocks only from the union of repair shares. ---
+    let mut blocks: BTreeMap<(usize, usize), Vec<u8>> = BTreeMap::new();
+    if !jobs.is_empty() {
+        let pairs: Vec<(usize, usize)> = jobs
+            .iter()
+            .flat_map(|job| {
+                let fetch: BTreeSet<usize> =
+                    job.plans.iter().flat_map(|p| p.indices()).collect();
+                fetch.into_iter().map(move |t| (job.x, t))
+            })
+            .collect();
+        let groups = group_by_node(chunk, pairs, node_of);
+        let calls = batched_calls(&groups, |&(x, _)| Request::GetState { stripe: chunk[x] });
+        let mut dropped: BTreeSet<usize> = BTreeSet::new();
+        for ((_, xs), res) in groups.iter().zip(call_many(endpoint, cfg, calls)) {
+            match res {
+                Ok(reply) => {
+                    for (&(x, t), sub) in xs.iter().zip(unbatch(reply, xs.len())?) {
+                        let s = expect_reply!(sub, Reply::GetState);
+                        match s.block {
+                            Some(b) => {
+                                blocks.insert((x, t), b);
+                            }
+                            None => {
+                                dropped.insert(x);
+                            }
+                        }
+                    }
+                }
+                Err(_) => dropped.extend(xs.iter().map(|&(x, _)| x)),
+            }
+        }
+        if !dropped.is_empty() {
+            jobs.retain(|job| !dropped.contains(&job.x));
+            fallback.extend(dropped);
+        }
+    }
+
+    // ---- Phase 3: batched Reconstruct (lost blocks only), Finalize all. --
     // Once a stripe's reconstructs are dispatched its locks must survive
     // errors (see recovery.rs): a failed round sends the stripe to the
     // fallback *without* unlocking, and the fallback's recovery adopts the
     // saved RECONS set.
-    let fast: Vec<usize> = jobs.iter().map(|&(x, _, _)| x).collect();
+    let fast: Vec<usize> = jobs.iter().map(|job| job.x).collect();
     let mut epochs: BTreeMap<usize, Epoch> = BTreeMap::new();
     let mut alive: BTreeSet<usize> = fast.iter().copied().collect();
     {
         let mut by_node: BTreeMap<NodeId, Vec<(usize, Request)>> = BTreeMap::new();
-        for (x, cset, blocks) in jobs {
-            for (t, block) in blocks.into_iter().enumerate() {
-                by_node.entry(node_of(chunk[x], t)).or_default().push((
-                    x,
-                    Request::Reconstruct {
-                        stripe: chunk[x],
-                        cset: cset.clone(),
-                        block,
-                    },
-                ));
+        let mut bad: BTreeSet<usize> = BTreeSet::new();
+        for job in &jobs {
+            epochs.insert(job.x, job.epoch);
+            for plan in &job.plans {
+                let shares: Vec<&[u8]> = plan
+                    .indices()
+                    .filter_map(|t| blocks.get(&(job.x, t)).map(Vec::as_slice))
+                    .collect();
+                let len = shares.first().map_or(0, |s| s.len());
+                let mut out = crate::pool::take(len);
+                // Malformed node replies (ragged blocks) — cannot happen
+                // with well-behaved nodes, but the fallback handles it.
+                if plan.reconstruct_into(&shares, &mut out).is_err() {
+                    crate::pool::give(out);
+                    bad.insert(job.x);
+                    break;
+                }
+                by_node
+                    .entry(node_of(chunk[job.x], plan.lost()))
+                    .or_default()
+                    .push((
+                        job.x,
+                        Request::Reconstruct {
+                            stripe: chunk[job.x],
+                            cset: job.cset.clone(),
+                            block: out,
+                        },
+                    ));
             }
+        }
+        for b in blocks.into_values() {
+            crate::pool::give(b);
+        }
+        if !bad.is_empty() {
+            for (_, xs_reqs) in by_node.iter_mut() {
+                xs_reqs.retain(|(x, _)| !bad.contains(x));
+            }
+            alive.retain(|x| !bad.contains(x));
+            for &x in &bad {
+                epochs.remove(&x);
+            }
+            fallback.extend(bad);
         }
         let mut calls: Vec<(NodeId, Request)> = Vec::with_capacity(by_node.len());
         let mut xs_per_call: Vec<Vec<usize>> = Vec::with_capacity(by_node.len());

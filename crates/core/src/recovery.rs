@@ -46,11 +46,17 @@ pub enum RecoveryOutcome {
 /// union never excuses a genuinely missing update (this realizes the paper's
 /// "if tid is in some oldlist of any node, then the write has occurred at
 /// all nodes").
+///
+/// Candidacy is judged on `opmode` alone: a `NORM` node always holds a
+/// block, so a `NORM` reply with `block == None` is a metadata-only
+/// `GetMeta` answer — its tid bookkeeping is exactly as authoritative as a
+/// full reply's, which is what lets rebuild and degraded reads classify
+/// the stripe without moving every block.
 pub fn find_consistent(states: &[GetStateReply], k: usize) -> Vec<usize> {
     let candidates: Vec<usize> = states
         .iter()
         .enumerate()
-        .filter(|(_, s)| s.opmode == OpMode::Norm && s.block.is_some())
+        .filter(|(_, s)| s.opmode == OpMode::Norm)
         .map(|(t, _)| t)
         .collect();
 
@@ -312,7 +318,16 @@ fn recover_inner(
     }
 
     // ---- Phase 3: decode, rewrite, advance epoch, unlock. ----
-    let key: Vec<usize> = cset.iter().take(k).copied().collect();
+    // Family-aware member choice: for Reed-Solomon any k members decode
+    // (first k); for an LRC some k-subsets are rank-deficient, so the code
+    // picks a decodable one from the whole consistent set.
+    let Some(key) = cfg.code.select_decode_indices(&cset) else {
+        unlock_all(endpoint, cfg, caller, stripe, n)?;
+        return Err(ProtocolError::Unrecoverable {
+            stripe,
+            reason: format!("consistent set {cset:?} does not determine the data"),
+        });
+    };
     let blocks = reconstruct_blocks(cfg, &key, &mut states)?;
 
     // `blocks` owns the reconstructed stripe and has no further use: move
@@ -418,8 +433,10 @@ fn give_blocks(states: &mut [GetStateReply]) {
 }
 
 /// Decides whether a degraded read of data block `i` can be served
-/// lock-free from one round of `GetState` replies (DESIGN.md §8), and if
-/// so from which `k` share indices to decode.
+/// lock-free from one round of `GetState`/`GetMeta` replies (DESIGN.md §8),
+/// and if so returns the full validated consistent set — the caller asks
+/// [`CodeFamily::repair_plan`](ajx_erasure::CodeFamily::repair_plan) for
+/// the cheapest share subset to actually decode from.
 ///
 /// `states` must be `n` entries in in-stripe index order; node `i` itself
 /// and unreachable peers are represented by `INIT` placeholders (never
@@ -452,7 +469,7 @@ pub(crate) fn degraded_plan(states: &[GetStateReply], k: usize, i: usize) -> Opt
     let candidates: Vec<usize> = states
         .iter()
         .enumerate()
-        .filter(|(_, s)| s.opmode == OpMode::Norm && s.block.is_some())
+        .filter(|(_, s)| s.opmode == OpMode::Norm)
         .map(|(t, _)| t)
         .collect();
     let ghat: BTreeSet<Tid> = candidates
@@ -474,13 +491,22 @@ pub(crate) fn degraded_plan(states: &[GetStateReply], k: usize, i: usize) -> Opt
     if block_i_tids(r) != visible {
         return None;
     }
-    Some(cset.into_iter().take(k).collect())
+    Some(cset)
 }
 
-/// Lock-free degraded read of data block `i` (DESIGN.md §8): one batched
-/// `GetState` round to the `n − 1` peers, [`degraded_plan`] on the replies,
-/// and a client-side single-block decode via the plan cache. No locks are
-/// taken and no recovery is triggered.
+/// Lock-free degraded read of data block `i` (DESIGN.md §8 and §12): one
+/// batched round to the `n − 1` peers — full `GetState` to the code's
+/// cheapest expected repair set, metadata-only `GetMeta` to the rest —
+/// [`degraded_plan`] on the replies, and a client-side single-block decode
+/// via the repair-plan cache. No locks are taken and no recovery is
+/// triggered.
+///
+/// On an LRC the optimistic repair set is the lost block's local group
+/// (~`k/g + 1` blocks instead of `k`), so the common-case read moves far
+/// fewer payload bytes. If the validated consistent set forces a different
+/// repair set, the missing blocks are fetched in a second round, guarded
+/// against concurrent mutation by tid-bookkeeping equality with the round
+/// that [`degraded_plan`] validated.
 ///
 /// Returns `Ok(None)` whenever the lock-free path is not safe (peers
 /// unreachable, writes draining, crashed recovery in progress) — the
@@ -494,14 +520,25 @@ pub(crate) fn degraded_read(
 ) -> Result<Option<Vec<u8>>, ProtocolError> {
     let n = cfg.n();
     let k = cfg.k();
+    let node_of = |t: usize| NodeId(cfg.layout.node_for(stripe.0, t) as u32);
     let peers: Vec<usize> = (0..n).filter(|&t| t != i).collect();
+    // Optimistic guess: every peer healthy and consistent — which blocks
+    // would the cheapest repair of `i` read? Those get a full `GetState`;
+    // the rest answer metadata-only.
+    let optimistic: BTreeSet<usize> = cfg
+        .plan_cache
+        .repair(&cfg.code, i, &peers)
+        .map(|p| p.indices().collect())
+        .unwrap_or_default();
     let calls: Vec<(NodeId, Request)> = peers
         .iter()
         .map(|&t| {
-            (
-                NodeId(cfg.layout.node_for(stripe.0, t) as u32),
-                Request::GetState { stripe },
-            )
+            let req = if optimistic.contains(&t) {
+                Request::GetState { stripe }
+            } else {
+                Request::GetMeta { stripe }
+            };
+            (node_of(t), req)
         })
         .collect();
     let placeholder = || GetStateReply {
@@ -510,6 +547,7 @@ pub(crate) fn degraded_read(
         oldlist: vec![],
         recentlist: vec![],
         block: None,
+        epoch: Epoch(0),
     };
     let mut states: Vec<GetStateReply> = (0..n).map(|_| placeholder()).collect();
     for (&t, res) in peers.iter().zip(call_many(endpoint, cfg, calls)) {
@@ -517,31 +555,66 @@ pub(crate) fn degraded_read(
             states[t] = s;
         }
     }
-    let Some(key) = degraded_plan(&states, k, i) else {
+    let Some(cset) = degraded_plan(&states, k, i) else {
         give_blocks(&mut states);
         return Ok(None);
     };
-    let decoded = (|| {
-        let plan = cfg.plan_cache.plan(&cfg.code, &key)?;
-        let shares: Vec<&[u8]> = key
+    // The consistent set is validated; now pick the cheapest repair inside
+    // it. A set that cannot repair `i` at all (LRC rank deficit) is as
+    // ambiguous as any other failure: fall back.
+    let Some(plan) = cfg.plan_cache.repair(&cfg.code, i, &cset) else {
+        give_blocks(&mut states);
+        return Ok(None);
+    };
+    // Second round for plan members the optimistic guess did not fetch.
+    // The late block is only usable if the node's tid bookkeeping did not
+    // move since the round `degraded_plan` validated — any drift means a
+    // write or recovery is interleaving, so fall back (TOCTOU guard).
+    let missing: Vec<usize> = plan
+        .indices()
+        .filter(|&t| states[t].block.is_none())
+        .collect();
+    if !missing.is_empty() {
+        let fetch: Vec<(NodeId, Request)> = missing
             .iter()
-            .filter_map(|&t| states[t].block.as_deref())
+            .map(|&t| (node_of(t), Request::GetState { stripe }))
             .collect();
-        let len = shares.first().map_or(0, |s| s.len());
-        let mut out = crate::pool::take(len);
-        match plan.reconstruct_one_into(i, &shares, &mut out) {
-            Ok(()) => Ok(out),
-            Err(e) => {
-                crate::pool::give(out);
-                Err(e)
+        for (&t, res) in missing.iter().zip(call_many(endpoint, cfg, fetch)) {
+            match res {
+                Ok(Reply::GetState(s))
+                    if s.opmode == states[t].opmode
+                        && s.recentlist == states[t].recentlist
+                        && s.oldlist == states[t].oldlist
+                        && s.epoch == states[t].epoch =>
+                {
+                    states[t] = s;
+                }
+                _ => {
+                    give_blocks(&mut states);
+                    return Ok(None);
+                }
             }
         }
-    })();
-    give_blocks(&mut states);
+    }
+    let shares: Vec<&[u8]> = plan
+        .indices()
+        .filter_map(|t| states[t].block.as_deref())
+        .collect();
+    let len = shares.first().map_or(0, |s| s.len());
+    let mut out = crate::pool::take(len);
     // Decode errors mean ragged or missing shares — not a state the
     // protocol produces, but the conservative answer is the same as for
     // any other ambiguity: fall back to recovery.
-    Ok(decoded.ok())
+    let decoded = match plan.reconstruct_into(&shares, &mut out) {
+        Ok(()) => Some(out),
+        Err(_) => {
+            crate::pool::give(out);
+            None
+        }
+    };
+    drop(shares);
+    give_blocks(&mut states);
+    Ok(decoded)
 }
 
 fn unlock_all(
@@ -621,6 +694,7 @@ mod tests {
             oldlist: old,
             recentlist: recent,
             block,
+            epoch: Epoch(0),
         }
     }
 
@@ -751,7 +825,7 @@ mod tests {
     fn degraded_plan_quiet_stripe_decodes_from_first_k_members() {
         // k = 2, n = 4, node 0 crashed (placeholder), nobody writing.
         let states = vec![absent(), norm(vec![]), norm(vec![]), norm(vec![])];
-        assert_eq!(degraded_plan(&states, 2, 0), Some(vec![1, 2]));
+        assert_eq!(degraded_plan(&states, 2, 0), Some(vec![1, 2, 3]));
     }
 
     #[test]
@@ -812,7 +886,7 @@ mod tests {
         let t = entry(1, 0, 1);
         let states = vec![absent(), norm(vec![]), norm(vec![t]), norm(vec![t])];
         // Redundant group {2, 3} agrees on {t}; union view is {t}: safe.
-        assert_eq!(degraded_plan(&states, 2, 0), Some(vec![1, 2]));
+        assert_eq!(degraded_plan(&states, 2, 0), Some(vec![1, 2, 3]));
     }
 
     #[test]
@@ -842,6 +916,18 @@ mod tests {
             state(OpMode::Norm, vec![], vec![t], Some(vec![0])),
             norm(vec![t]),
         ];
-        assert_eq!(degraded_plan(&states, 2, 0), Some(vec![1, 2]));
+        assert_eq!(degraded_plan(&states, 2, 0), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn metadata_only_norm_replies_are_candidates() {
+        // A `GetMeta` answer is a NORM reply with no block: it must count
+        // for consistency analysis exactly like a full reply, or the
+        // byte-thrifty rebuild/degraded-read rounds would shrink the set.
+        let meta = |recent: Vec<TidEntry>| state(OpMode::Norm, recent, vec![], None);
+        let states = vec![norm(vec![]), meta(vec![]), norm(vec![]), meta(vec![])];
+        assert_eq!(find_consistent(&states, 2), vec![0, 1, 2, 3]);
+        let states = vec![absent(), meta(vec![]), norm(vec![]), norm(vec![])];
+        assert_eq!(degraded_plan(&states, 2, 0), Some(vec![1, 2, 3]));
     }
 }

@@ -1,5 +1,5 @@
-//! A concurrency-safe cache of [`DecodePlan`]s keyed by surviving-index
-//! set.
+//! A concurrency-safe cache of [`DecodePlan`]s and [`RepairPlan`]s keyed
+//! by code family and index pattern.
 //!
 //! Recovery and rebuild decode the *same erasure pattern* over and over:
 //! with one failed node and rotated placement, a full-node rebuild cycles
@@ -7,27 +7,34 @@
 //! re-runs the k×k Vandermonde inversion for every stripe. The cache turns
 //! that into one inversion per pattern for the lifetime of the
 //! configuration, with all subsequent stripes paying only a map lookup.
+//!
+//! Keys pair the index pattern with the code's [`FamilyKey`], so one cache
+//! may serve clusters of different code families — and a plan computed for
+//! an LRC can never be served for a Reed-Solomon stripe of the same
+//! `(k, n)` shape (their generator matrices differ).
 
-use crate::code::{DecodePlan, ReedSolomon};
+use crate::code::DecodePlan;
 use crate::error::CodeError;
+use crate::family::{CodeFamily, FamilyKey, RepairPlan};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// A shared, thread-safe memo of [`ReedSolomon::plan_decode`] results.
+/// A shared, thread-safe memo of [`ReedSolomon::plan_decode`] results and
+/// of [`CodeFamily::repair_plan`] results.
 ///
-/// Plans are keyed by the index slice *as given*: callers should pass
-/// indices in a canonical (sorted) order to maximize sharing — the
-/// protocol's `find_consistent` already returns sorted sets. A cache must
-/// only ever be used with a **single** code: plans for a different
-/// `(k, n)` or coefficient matrix would collide on the same keys.
+/// Decode plans are keyed by the index slice *as given*: callers should
+/// pass indices in a canonical (sorted) order to maximize sharing — the
+/// protocol's `find_consistent` already returns sorted sets.
+///
+/// [`ReedSolomon::plan_decode`]: crate::ReedSolomon::plan_decode
 ///
 /// # Example
 ///
 /// ```
-/// use ajx_erasure::{PlanCache, ReedSolomon};
+/// use ajx_erasure::{CodeFamily, PlanCache};
 ///
 /// # fn main() -> Result<(), ajx_erasure::CodeError> {
-/// let rs = ReedSolomon::new(2, 4)?;
+/// let rs = CodeFamily::rs(2, 4)?;
 /// let cache = PlanCache::new();
 /// let a = cache.plan(&rs, &[1, 3])?;
 /// let b = cache.plan(&rs, &[1, 3])?;
@@ -38,8 +45,17 @@ use std::sync::{Arc, Mutex};
 /// ```
 #[derive(Default)]
 pub struct PlanCache {
-    plans: Mutex<HashMap<Vec<usize>, Arc<DecodePlan>>>,
+    plans: Mutex<HashMap<PlanKey, Arc<DecodePlan>>>,
+    /// Memoized single-block repairs: `(family, lost, available)` →
+    /// weighted share set.
+    repairs: Mutex<HashMap<RepairKey, Arc<RepairPlan>>>,
 }
+
+/// Key of a memoized decode plan: code family + survivor index pattern.
+type PlanKey = (FamilyKey, Vec<usize>);
+
+/// Key of a memoized repair: code family + lost index + available set.
+type RepairKey = (FamilyKey, usize, Vec<usize>);
 
 impl PlanCache {
     /// An empty cache.
@@ -57,41 +73,80 @@ impl PlanCache {
     ///
     /// # Errors
     ///
-    /// As [`ReedSolomon::plan_decode`]; errors are not cached.
+    /// As [`crate::ReedSolomon::plan_decode`]; errors are not cached.
     pub fn plan(
         &self,
-        code: &ReedSolomon,
+        code: &CodeFamily,
         indices: &[usize],
     ) -> Result<Arc<DecodePlan>, CodeError> {
-        if let Some(plan) = self.lock().get(indices) {
+        let family = code.family_key();
+        if let Some(plan) = self.lock_plans().get(&(family, indices.to_vec())) {
             return Ok(Arc::clone(plan));
         }
         let fresh = Arc::new(code.plan_decode(indices)?);
         Ok(Arc::clone(
-            self.lock().entry(indices.to_vec()).or_insert(fresh),
+            self.lock_plans()
+                .entry((family, indices.to_vec()))
+                .or_insert(fresh),
         ))
     }
 
-    /// Number of cached erasure patterns.
-    pub fn len(&self) -> usize {
-        self.lock().len()
+    /// The cheapest repair of stripe index `lost` from `available`
+    /// (see [`CodeFamily::repair_plan`]), memoized per `(family, lost,
+    /// available)` triple. Returns `None` — uncached — when the available
+    /// blocks cannot reconstruct the lost one.
+    ///
+    /// Callers should pass `available` sorted; a full-node rebuild asks
+    /// for the same handful of patterns across millions of stripes.
+    pub fn repair(
+        &self,
+        code: &CodeFamily,
+        lost: usize,
+        available: &[usize],
+    ) -> Option<Arc<RepairPlan>> {
+        let family = code.family_key();
+        if let Some(plan) = self
+            .lock_repairs()
+            .get(&(family, lost, available.to_vec()))
+        {
+            return Some(Arc::clone(plan));
+        }
+        let fresh = Arc::new(code.repair_plan(lost, available)?);
+        Some(Arc::clone(
+            self.lock_repairs()
+                .entry((family, lost, available.to_vec()))
+                .or_insert(fresh),
+        ))
     }
 
-    /// Whether the cache holds no plans yet.
+    /// Number of cached decode patterns (repair memos not included).
+    pub fn len(&self) -> usize {
+        self.lock_plans().len()
+    }
+
+    /// Whether the cache holds no decode plans yet.
     pub fn is_empty(&self) -> bool {
-        self.lock().is_empty()
+        self.lock_plans().is_empty()
     }
 
     /// Drops every cached plan (e.g. after reconfiguring the code).
     pub fn clear(&self) {
-        self.lock().clear();
+        self.lock_plans().clear();
+        self.lock_repairs().clear();
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<Vec<usize>, Arc<DecodePlan>>> {
+    fn lock_plans(&self) -> std::sync::MutexGuard<'_, HashMap<PlanKey, Arc<DecodePlan>>> {
         // A panic while holding the lock can only happen outside any
         // mutation (the map is only read/inserted-into), so a poisoned
         // cache is still structurally sound.
         match self.plans.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn lock_repairs(&self) -> std::sync::MutexGuard<'_, HashMap<RepairKey, Arc<RepairPlan>>> {
+        match self.repairs.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         }
@@ -102,6 +157,7 @@ impl std::fmt::Debug for PlanCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PlanCache")
             .field("patterns", &self.len())
+            .field("repairs", &self.lock_repairs().len())
             .finish()
     }
 }
@@ -112,7 +168,7 @@ mod tests {
 
     #[test]
     fn caches_one_plan_per_pattern() {
-        let rs = ReedSolomon::new(2, 4).unwrap();
+        let rs = CodeFamily::rs(2, 4).unwrap();
         let cache = PlanCache::new();
         assert!(cache.is_empty());
         let a = cache.plan(&rs, &[0, 2]).unwrap();
@@ -127,7 +183,7 @@ mod tests {
 
     #[test]
     fn key_is_order_sensitive_by_design() {
-        let rs = ReedSolomon::new(2, 4).unwrap();
+        let rs = CodeFamily::rs(2, 4).unwrap();
         let cache = PlanCache::new();
         let fwd = cache.plan(&rs, &[1, 3]).unwrap();
         let rev = cache.plan(&rs, &[3, 1]).unwrap();
@@ -140,7 +196,7 @@ mod tests {
 
     #[test]
     fn invalid_patterns_error_and_are_not_cached() {
-        let rs = ReedSolomon::new(2, 4).unwrap();
+        let rs = CodeFamily::rs(2, 4).unwrap();
         let cache = PlanCache::new();
         assert!(cache.plan(&rs, &[0]).is_err());
         assert!(cache.plan(&rs, &[0, 0]).is_err());
@@ -149,8 +205,52 @@ mod tests {
     }
 
     #[test]
+    fn family_key_separates_equal_shapes() {
+        // Regression (ISSUE 9 satellite): RS(12, 16) and LRC(12, 3, 1)
+        // share (k, n) and may ask for the *same* survivor pattern. Before
+        // the family-aware key, whichever family populated the entry first
+        // would serve its inverse to the other — silent data corruption.
+        let rs = CodeFamily::rs(12, 16).unwrap();
+        let lrc = CodeFamily::lrc(12, 3, 1).unwrap();
+        let cache = PlanCache::new();
+        // Data 1..11 plus redundant block 12 — decodable in both families
+        // (for the LRC, block 12 is group 0's local parity covering the
+        // missing data block 0).
+        let indices: Vec<usize> = (1..=12).collect();
+        let from_rs = cache.plan(&rs, &indices).unwrap();
+        let from_lrc = cache.plan(&lrc, &indices).unwrap();
+        assert_eq!(cache.len(), 2, "one entry per family");
+        assert!(!Arc::ptr_eq(&from_rs, &from_lrc));
+
+        // The two plans genuinely differ: each decodes its own stripe.
+        let data: Vec<Vec<u8>> = (0..12).map(|i| vec![i as u8 + 1; 16]).collect();
+        for (fam, plan) in [(&rs, &from_rs), (&lrc, &from_lrc)] {
+            let stripe = fam.encode_stripe(&data).unwrap();
+            let shares: Vec<&[u8]> = indices.iter().map(|&i| &stripe[i][..]).collect();
+            let mut out = vec![vec![0u8; 16]; 12];
+            let mut views: Vec<&mut [u8]> = out.iter_mut().map(|b| b.as_mut_slice()).collect();
+            plan.decode_into(&shares, &mut views).unwrap();
+            assert_eq!(out, data);
+        }
+    }
+
+    #[test]
+    fn repair_plans_are_memoized_per_family() {
+        let rs = CodeFamily::rs(2, 4).unwrap();
+        let cache = PlanCache::new();
+        let available = [1usize, 2, 3];
+        let a = cache.repair(&rs, 0, &available).unwrap();
+        let b = cache.repair(&rs, 0, &available).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup is a cache hit");
+        // Unrecoverable patterns return None and stay uncached.
+        let lrc = CodeFamily::lrc(4, 2, 1).unwrap();
+        assert!(cache.repair(&lrc, 0, &[2, 3, 5]).is_none());
+        assert!(cache.repair(&lrc, 0, &[2, 3, 5]).is_none());
+    }
+
+    #[test]
     fn cached_plan_decodes_identically_to_fresh() {
-        let rs = ReedSolomon::new(3, 6).unwrap();
+        let rs = CodeFamily::rs(3, 6).unwrap();
         let data: Vec<Vec<u8>> = (0..3).map(|i| vec![(7 * i + 1) as u8; 24]).collect();
         let stripe = rs.encode_stripe(&data).unwrap();
         let cache = PlanCache::new();

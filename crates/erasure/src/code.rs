@@ -90,6 +90,37 @@ impl ReedSolomon {
         })
     }
 
+    /// Builds a systematic linear code directly from a `p × k` parity
+    /// matrix (`p = red.rows()`, so `n = k + p`).
+    ///
+    /// Unlike [`ReedSolomon::new`], the resulting code is only MDS if the
+    /// caller's parity matrix is superregular; the pyramid LRC construction
+    /// in [`crate::Lrc`] deliberately passes a *non*-MDS parity (local
+    /// parity rows are zero outside their group), relying on
+    /// [`ReedSolomon::plan_decode`] returning [`CodeError::NotDecodable`]
+    /// for share sets that do not determine the data.
+    pub(crate) fn from_parity(k: usize, red: Matrix<Gf256>) -> Result<Self, CodeError> {
+        let p = red.rows();
+        let n = k + p;
+        if k == 0 || p == 0 || n > MAX_N || red.cols() != k {
+            return Err(CodeError::InvalidParams { k, n });
+        }
+        let red_cols = (0..k)
+            .map(|i| (0..p).map(|j| red[(j, i)].as_byte()).collect())
+            .collect();
+        Ok(ReedSolomon {
+            k,
+            n,
+            red,
+            red_cols,
+        })
+    }
+
+    /// The full `p × k` parity (redundancy) matrix.
+    pub(crate) fn parity(&self) -> &Matrix<Gf256> {
+        &self.red
+    }
+
     /// Number of data blocks per stripe.
     pub fn k(&self) -> usize {
         self.k

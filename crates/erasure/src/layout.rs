@@ -119,6 +119,20 @@ impl StripeLayout {
         debug_assert!(i < self.k);
         stripe * self.k as u64 + i as u64
     }
+
+    /// The logical blocks whose **data** copy lives on `node` within
+    /// stripes `0..stripes` — i.e. the data a rebuild of that node must
+    /// reconstruct (its redundant blocks are re-encoded, not listed here).
+    /// Under the rotation each node holds a data block in `k/n` of all
+    /// stripes.
+    pub fn data_blocks_on_node(&self, node: NodeIndex, stripes: u64) -> Vec<u64> {
+        (0..stripes)
+            .filter_map(|s| match self.role_of(s, node) {
+                Some(Role::Data(i)) => Some(self.logical_block(s, i)),
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 impl fmt::Display for StripeLayout {
@@ -186,6 +200,20 @@ mod tests {
         assert_eq!(r0, vec![2, 3]);
         assert_eq!(r1, vec![3, 0]);
         assert_eq!(r4, r0, "rotation has period n");
+    }
+
+    #[test]
+    fn data_blocks_on_node_match_locate() {
+        let layout = StripeLayout::new(3, 5).unwrap();
+        for node in 0..5 {
+            let blocks = layout.data_blocks_on_node(node, 20);
+            // Exactly the logical blocks locate() places on this node.
+            let expected: Vec<u64> = (0..20 * 3)
+                .filter(|&lb| layout.locate(lb).node == node)
+                .collect();
+            assert_eq!(blocks, expected);
+            assert_eq!(blocks.len(), 20 * 3 / 5, "k/n of all stripes");
+        }
     }
 
     #[test]

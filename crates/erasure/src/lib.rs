@@ -12,6 +12,11 @@
 //!   of codes the protocol supports ("linear erasure codes ... where
 //!   redundant blocks are updated with commutative operations", §1);
 //!   [`toy_2_of_4`] instantiates the paper's §3.3 `(a, b, a+b, a−b)` example.
+//! * [`Lrc`] / [`CodeFamily`] — a pyramid Local Reconstruction Code tier:
+//!   data blocks split into local groups with one local parity each plus
+//!   global parities, so a single lost block is repaired from its
+//!   ~`k/g`-block group instead of `k` blocks ([`CodeFamily::repair_plan`]
+//!   picks the cheapest viable repair set for either family).
 //! * [`StripeLayout`] — the §3.11 rotated placement of stripes over storage
 //!   nodes that spreads parity load and keeps sequential I/O on distinct
 //!   nodes.
@@ -43,15 +48,19 @@
 mod cache;
 mod code;
 mod error;
+mod family;
 mod layout;
 mod linear;
+mod lrc;
 mod matrix;
 mod wide;
 
 pub use cache::PlanCache;
 pub use code::{DecodePlan, ReedSolomon, MAX_N};
 pub use error::CodeError;
+pub use family::{CodeFamily, FamilyKey, RepairPlan};
 pub use layout::{NodeIndex, Placement, Role, StripeLayout};
 pub use linear::{toy_2_of_4, LinearCode};
+pub use lrc::Lrc;
 pub use matrix::Matrix;
 pub use wide::{WideReedSolomon, MAX_N_WIDE};

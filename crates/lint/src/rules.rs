@@ -362,6 +362,20 @@ pub const CODEC_SITES: &[CodecSite] = &[
         fn_name: "is_journaled",
         what: "WAL journaling classifier",
     },
+    CodecSite {
+        enum_name: "Request",
+        file: "crates/storage/src/node.rs",
+        impl_of: Some("Request"),
+        fn_name: "payload_bytes",
+        what: "request payload accounting",
+    },
+    CodecSite {
+        enum_name: "Reply",
+        file: "crates/storage/src/node.rs",
+        impl_of: Some("Reply"),
+        fn_name: "payload_bytes",
+        what: "reply payload accounting",
+    },
 ];
 
 /// File that defines the protocol enums.

@@ -29,10 +29,25 @@ impl Request {
             Request::Probe { .. } => 0,
         }
     }
+
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Request::Read { .. } => 0,
+            Request::Swap { value, .. } => value.len(),
+            Request::Probe { .. } => 0,
+        }
+    }
 }
 
 impl Reply {
     pub fn wire_bytes(&self) -> usize {
+        match self {
+            Reply::Read(b) => b.len(),
+            Reply::Ack => 0,
+        }
+    }
+
+    pub fn payload_bytes(&self) -> usize {
         match self {
             Reply::Read(b) => b.len(),
             Reply::Ack => 0,

@@ -8,7 +8,7 @@ use crate::state::{
     AddReply, BlockState, CheckTidReply, GetStateReply, ReadReply, SwapReply, TryLockReply,
 };
 use crate::types::{ClientId, Epoch, LMode, NodeId, OpMode, StripeId, Tid, TidEntry};
-use ajx_erasure::ReedSolomon;
+use ajx_erasure::CodeFamily;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -85,6 +85,14 @@ pub enum Request {
         /// Target stripe.
         stripe: StripeId,
     },
+    /// `get_state()` without the block payload: the metadata-only probe the
+    /// byte-accounted rebuild engine uses to classify every node's stripe
+    /// state before fetching blocks from only the repair set. Answered with
+    /// a [`Reply::GetState`] whose `block` is `None`.
+    GetMeta {
+        /// Target stripe.
+        stripe: StripeId,
+    },
     /// `getrecent(lm)` (Fig. 6).
     GetRecent {
         /// Target stripe.
@@ -149,6 +157,7 @@ impl Request {
             | Request::TryLock { stripe, .. }
             | Request::SetLock { stripe, .. }
             | Request::GetState { stripe }
+            | Request::GetMeta { stripe }
             | Request::GetRecent { stripe, .. }
             | Request::Reconstruct { stripe, .. }
             | Request::Finalize { stripe, .. }
@@ -184,6 +193,7 @@ impl Request {
             | Request::TryLock { .. }
             | Request::SetLock { .. }
             | Request::GetState { .. }
+            | Request::GetMeta { .. }
             | Request::GetRecent { .. }
             | Request::Reconstruct { .. }
             | Request::Finalize { .. }
@@ -217,6 +227,7 @@ impl Request {
             | Request::TryLock { .. }
             | Request::SetLock { .. }
             | Request::GetState { .. }
+            | Request::GetMeta { .. }
             | Request::GetRecent { .. }
             | Request::Finalize { .. }
             | Request::GcOld { .. }
@@ -224,6 +235,33 @@ impl Request {
             | Request::Probe { .. } => 0,
         };
         MSG_HEADER_BYTES + payload
+    }
+
+    /// Block-content bytes carried by this request — the share of
+    /// [`Request::wire_bytes`] that is actual stripe data (`swap` values,
+    /// `add` deltas, reconstructed blocks), with headers and metadata
+    /// excluded. This is the quantity repair-bandwidth optimization
+    /// shrinks, so the transport counts it separately from total bytes.
+    pub fn payload_bytes(&self) -> usize {
+        // Exhaustive like `wire_bytes`: a new payload-carrying variant
+        // must be named here (the ajx-lint codec rule enforces it).
+        match self {
+            Request::Swap { value, .. } => value.len(),
+            Request::Add { delta, .. } => delta.len(),
+            Request::Reconstruct { block, .. } => block.len(),
+            Request::Batch(reqs) => reqs.iter().map(Request::payload_bytes).sum(),
+            Request::Read { .. }
+            | Request::CheckTid { .. }
+            | Request::TryLock { .. }
+            | Request::SetLock { .. }
+            | Request::GetState { .. }
+            | Request::GetMeta { .. }
+            | Request::GetRecent { .. }
+            | Request::Finalize { .. }
+            | Request::GcOld { .. }
+            | Request::GcRecent { .. }
+            | Request::Probe { .. } => 0,
+        }
     }
 }
 
@@ -297,6 +335,27 @@ impl Reply {
         };
         MSG_HEADER_BYTES + payload
     }
+
+    /// Block-content bytes carried by this reply (read/swap/get_state
+    /// block payloads), headers and tid-list metadata excluded — the
+    /// reply-side counterpart of [`Request::payload_bytes`].
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Reply::Read(r) => r.block.as_ref().map_or(0, Vec::len),
+            Reply::Swap(r) => r.block.as_ref().map_or(0, Vec::len),
+            Reply::GetState(r) => r.block.as_ref().map_or(0, Vec::len),
+            Reply::Batch(replies) => replies.iter().map(Reply::payload_bytes).sum(),
+            Reply::Add(_)
+            | Reply::CheckTid(_)
+            | Reply::TryLock(_)
+            | Reply::Ack
+            | Reply::GetRecent(_)
+            | Reply::Reconstruct(_)
+            | Reply::Gc(_)
+            | Reply::Probe { .. }
+            | Reply::NoCode => 0,
+        }
+    }
 }
 
 /// How the node persists redundant-block updates to its backing medium
@@ -341,7 +400,7 @@ pub struct StorageNode {
     id: NodeId,
     block_size: usize,
     blocks: HashMap<StripeId, BlockState>,
-    code: Option<ReedSolomon>,
+    code: Option<CodeFamily>,
     flush_policy: FlushPolicy,
     dirty: Option<StripeId>,
     media_writes: u64,
@@ -373,7 +432,7 @@ impl StorageNode {
 
     /// Equips the node with the erasure code so it can perform the
     /// broadcast-mode coefficient multiply (§3.11).
-    pub fn with_code(mut self, code: ReedSolomon) -> Self {
+    pub fn with_code(mut self, code: CodeFamily) -> Self {
         self.code = Some(code);
         self
     }
@@ -491,6 +550,11 @@ impl StorageNode {
                 Reply::Ack
             }
             Request::GetState { .. } => Reply::GetState(state.get_state()),
+            Request::GetMeta { .. } => {
+                let mut meta = state.get_state();
+                meta.block = None;
+                Reply::GetState(meta)
+            }
             Request::GetRecent { lm, caller, .. } => Reply::GetRecent(state.getrecent(lm, caller)),
             Request::Reconstruct { cset, block, .. } => {
                 Reply::Reconstruct(state.reconstruct(cset, block))
@@ -657,7 +721,7 @@ mod tests {
         };
         assert_eq!(node.handle(req.clone()), Reply::NoCode);
 
-        let code = ReedSolomon::new(2, 4).unwrap();
+        let code = CodeFamily::rs(2, 4).unwrap();
         let expected = code.scale_broadcast_delta(0, 0, &[1; 4]);
         let mut node = StorageNode::new(NodeId(0), 4).with_code(code);
         assert!(matches!(
@@ -778,6 +842,66 @@ mod tests {
             lmode: LMode::Unl,
         });
         assert_eq!(reply.wire_bytes(), MSG_HEADER_BYTES + 512);
+    }
+
+    #[test]
+    fn get_meta_strips_the_block_but_keeps_metadata() {
+        let mut node = StorageNode::new(NodeId(0), 4);
+        node.handle(Request::Swap {
+            stripe: StripeId(0),
+            value: vec![9; 4],
+            ntid: tid(1),
+        });
+        let full = node.handle(Request::GetState { stripe: StripeId(0) });
+        let meta = node.handle(Request::GetMeta { stripe: StripeId(0) });
+        let (Reply::GetState(full), Reply::GetState(meta)) = (full, meta) else {
+            panic!("expected Reply::GetState for both");
+        };
+        assert_eq!(full.block, Some(vec![9; 4]));
+        assert_eq!(meta.block, None, "meta probe carries no payload");
+        assert_eq!(meta.recentlist, full.recentlist);
+        assert_eq!(meta.oldlist, full.oldlist);
+        assert_eq!(meta.opmode, full.opmode);
+        assert_eq!(meta.epoch, full.epoch);
+        // The wire savings the rebuild engine banks on.
+        let meta_req = Request::GetMeta { stripe: StripeId(0) };
+        assert_eq!(meta_req.wire_bytes(), MSG_HEADER_BYTES);
+        assert!(meta_req.is_idempotent());
+        assert!(Reply::GetState(meta).payload_bytes() == 0);
+        assert_eq!(Reply::GetState(full).payload_bytes(), 4);
+    }
+
+    #[test]
+    fn payload_bytes_count_block_content_only() {
+        let swap = Request::Swap {
+            stripe: StripeId(0),
+            value: vec![0; 100],
+            ntid: tid(1),
+        };
+        assert_eq!(swap.payload_bytes(), 100);
+        assert_eq!(Request::Read { stripe: StripeId(0) }.payload_bytes(), 0);
+        let batch = Request::Batch(vec![
+            swap,
+            Request::Reconstruct {
+                stripe: StripeId(1),
+                cset: vec![0, 1],
+                block: vec![0; 50],
+            },
+            Request::GetMeta { stripe: StripeId(2) },
+        ]);
+        assert_eq!(batch.payload_bytes(), 150);
+        // Reply side: blocks count, tid-list metadata does not.
+        let gs = Reply::GetState(GetStateReply {
+            opmode: OpMode::Norm,
+            recons_set: vec![],
+            oldlist: vec![TidEntry { tid: tid(1), time: 0 }],
+            recentlist: vec![TidEntry { tid: tid(2), time: 0 }],
+            block: Some(vec![0; 64]),
+            epoch: Epoch(0),
+        });
+        assert_eq!(gs.payload_bytes(), 64);
+        assert!(gs.wire_bytes() > gs.payload_bytes(), "headers excluded");
+        assert_eq!(Reply::Ack.payload_bytes(), 0);
     }
 
     #[test]

@@ -592,6 +592,10 @@ fn encode_request(out: &mut Vec<u8>, req: &Request) {
                 encode_request(out, m);
             }
         }
+        Request::GetMeta { stripe } => {
+            out.push(14);
+            put_u64(out, stripe.0);
+        }
     }
 }
 
@@ -747,6 +751,7 @@ fn decode_request(c: &mut Cursor<'_>) -> Option<Request> {
             }
             Request::Batch(members)
         }
+        14 => Request::GetMeta { stripe: StripeId(c.u64()?) },
         _ => return None,
     })
 }
@@ -816,6 +821,7 @@ mod tests {
             },
             Request::GcRecent { stripe: StripeId(7), tids: vec![] },
             Request::Probe { stripe: StripeId(8) },
+            Request::GetMeta { stripe: StripeId(9) },
             Request::Batch(vec![
                 Request::Read { stripe: StripeId(0) },
                 Request::Batch(vec![Request::Probe { stripe: StripeId(1) }]),

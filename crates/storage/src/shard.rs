@@ -31,7 +31,7 @@ use crate::node::{FlushPolicy, Reply, Request, StorageNode};
 use crate::persist::{InMemoryPersistence, Persistence, WalRecord, WalRecordRef};
 use crate::state::BlockState;
 use crate::types::{ClientId, NodeId, StripeId};
-use ajx_erasure::ReedSolomon;
+use ajx_erasure::CodeFamily;
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,6 +49,7 @@ fn is_journaled(req: &Request) -> bool {
     match req {
         Request::Read { .. }
         | Request::GetState { .. }
+        | Request::GetMeta { .. }
         | Request::Probe { .. }
         | Request::CheckTid { .. } => false,
         Request::Batch(members) => members.iter().any(is_journaled),
@@ -230,7 +231,7 @@ impl ShardedNode {
 
     /// Equips every shard with the erasure code for broadcast-mode scaled
     /// adds (§3.11).
-    pub fn with_code(mut self, code: ReedSolomon) -> Self {
+    pub fn with_code(mut self, code: CodeFamily) -> Self {
         let id = self.id;
         for shard in &mut self.shards {
             // Builder holds the node exclusively: no locking needed.
@@ -786,7 +787,7 @@ mod tests {
 
     #[test]
     fn scaled_add_reaches_every_shard_code() {
-        let code = ajx_erasure::ReedSolomon::new(2, 4).unwrap();
+        let code = CodeFamily::rs(2, 4).unwrap();
         let expected = code.scale_broadcast_delta(0, 0, &[1; 4]);
         let node = ShardedNode::new(NodeId(0), 4, 3).with_code(code);
         for s in 0..3u64 {

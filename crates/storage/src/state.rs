@@ -95,7 +95,12 @@ pub struct GetStateReply {
     /// Recent-write list used to judge consistency.
     pub recentlist: Vec<TidEntry>,
     /// Block content, or `None` if `opmode ≠ NORM` ("block has garbage").
+    /// Also `None` in replies to metadata-only probes (`GetMeta`).
     pub block: Option<Vec<u8>>,
+    /// The node's current epoch: targeted rebuild computes the finalize
+    /// epoch as the max over *all* nodes' `get_state`/`get_meta` replies,
+    /// not just the nodes it reconstructs.
+    pub epoch: Epoch,
 }
 
 /// The state of one stripe-block at one storage node: the global variables
@@ -362,6 +367,7 @@ impl BlockState {
             } else {
                 Some(self.block.clone())
             },
+            epoch: self.epoch,
         }
     }
 

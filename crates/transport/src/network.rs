@@ -25,7 +25,7 @@ use crate::bucket::TokenBucket;
 use crate::error::RpcError;
 use crate::fault::{Fate, FaultPlan};
 use crate::stats::NetStats;
-use ajx_erasure::ReedSolomon;
+use ajx_erasure::CodeFamily;
 use ajx_storage::{
     backend_for, ClientId, FlushPolicy, NodeId, NodeView, PersistMode, PersistStats, Reply,
     Request, ShardedNode,
@@ -54,7 +54,7 @@ pub struct NetworkConfig {
     /// calls served simultaneously).
     pub server_threads: usize,
     /// Erasure code handed to nodes for broadcast-mode scaling (§3.11).
-    pub code: Option<ReedSolomon>,
+    pub code: Option<CodeFamily>,
     /// Media flush policy for the nodes (§3.11 ablation).
     pub flush_policy: FlushPolicy,
     /// Per-call reply deadline. `None` (the default) waits forever, which
@@ -531,6 +531,7 @@ impl Network {
         self.sleep_latency(); // inbound propagation
         for reply in replies.iter().flatten() {
             self.stats.record_receive(reply.wire_bytes());
+            self.stats.record_receive_payload(reply.payload_bytes());
         }
         replies
     }
@@ -592,6 +593,7 @@ impl Network {
         self.sleep_latency(); // inbound propagation
         if let Ok(reply) = &result {
             self.stats.record_receive(reply.wire_bytes());
+            self.stats.record_receive_payload(reply.payload_bytes());
         }
         result
     }
@@ -609,6 +611,7 @@ impl Network {
             return Err(RpcError::NodeDown(node));
         }
         let wire_bytes = req.wire_bytes();
+        let payload_bytes = req.payload_bytes();
         let (tx, rx) = bounded(1);
         // Gauge up *before* the enqueue (rolled back on rejection): once
         // the job is in the queue a worker may answer — and decrement —
@@ -632,6 +635,7 @@ impl Network {
         // Counted only after the queue accepted the message: a send that
         // never left the client must not inflate `msgs_sent`.
         self.stats.record_send(wire_bytes);
+        self.stats.record_send_payload(payload_bytes);
         Ok(rx)
     }
 }
@@ -726,6 +730,7 @@ impl ClientEndpoint {
             nic.consume(bytes);
         }
         self.stats.record_send(bytes);
+        self.stats.record_send_payload(req.payload_bytes());
         let result = self.net.deliver_one(self, node, req);
         if let Ok(reply) = &result {
             let bytes = reply.wire_bytes();
@@ -733,6 +738,7 @@ impl ClientEndpoint {
                 nic.consume(bytes);
             }
             self.stats.record_receive(bytes);
+            self.stats.record_receive_payload(reply.payload_bytes());
             self.stats.record_round_trip();
         }
         result
@@ -754,6 +760,7 @@ impl ClientEndpoint {
                         nic.consume(bytes);
                     }
                     self.stats.record_send(bytes);
+                    self.stats.record_send_payload(req.payload_bytes());
                     gate.push(Ok(node));
                     admitted.push((node, req));
                 }
@@ -777,6 +784,7 @@ impl ClientEndpoint {
                             nic.consume(bytes);
                         }
                         self.stats.record_receive(bytes);
+                        self.stats.record_receive_payload(reply.payload_bytes());
                         self.stats.record_round_trip();
                     }
                     r
@@ -804,6 +812,7 @@ impl ClientEndpoint {
             nic.consume(shared_bytes);
         }
         self.stats.record_send(shared_bytes);
+        self.stats.record_send_payload(first.payload_bytes());
 
         self.net
             .deliver_batch(self, requests)
@@ -815,6 +824,7 @@ impl ClientEndpoint {
                         nic.consume(bytes);
                     }
                     self.stats.record_receive(bytes);
+                    self.stats.record_receive_payload(reply.payload_bytes());
                     self.stats.record_round_trip();
                 }
             })
@@ -853,6 +863,7 @@ impl ClientEndpoint {
             .as_ref()
             .map_or(Duration::ZERO, |nic| nic.consume_nonblocking(bytes));
         self.stats.record_send(bytes);
+        self.stats.record_send_payload(req.payload_bytes());
         let fate = match self.fault_seq.get(node.0 as usize) {
             Some(ctr) => {
                 let seq = ctr.fetch_add(1, Ordering::Relaxed);
@@ -962,11 +973,14 @@ impl ClientEndpoint {
     ) -> Result<Reply, RpcError> {
         if let Ok(reply) = &result {
             let bytes = reply.wire_bytes();
+            let payload = reply.payload_bytes();
             self.stats.record_receive(bytes);
+            self.stats.record_receive_payload(payload);
             self.stats.record_round_trip();
             self.stats
                 .record_latency(now.saturating_duration_since(call.sent_at));
             self.net.stats.record_receive(bytes);
+            self.net.stats.record_receive_payload(payload);
         }
         result
     }

@@ -29,6 +29,11 @@ pub struct NetStats {
     bytes_sent: AtomicU64,
     msgs_received: AtomicU64,
     bytes_received: AtomicU64,
+    /// Block-content bytes inside sent messages (excludes headers and
+    /// metadata-only traffic) — the repair-bandwidth figure of merit.
+    payload_sent: AtomicU64,
+    /// Block-content bytes inside received messages.
+    payload_received: AtomicU64,
     round_trips: AtomicU64,
     /// Requests currently queued or executing, per node. Empty unless
     /// built with [`NetStats::with_nodes`].
@@ -49,6 +54,8 @@ impl Default for NetStats {
             bytes_sent: AtomicU64::new(0),
             msgs_received: AtomicU64::new(0),
             bytes_received: AtomicU64::new(0),
+            payload_sent: AtomicU64::new(0),
+            payload_received: AtomicU64::new(0),
             round_trips: AtomicU64::new(0),
             inflight: Vec::new(),
             inflight_peak: Vec::new(),
@@ -71,6 +78,10 @@ pub struct NetSnapshot {
     pub msgs_received: u64,
     /// Bytes received.
     pub bytes_received: u64,
+    /// Block-content bytes sent (no headers, no metadata-only messages).
+    pub payload_sent: u64,
+    /// Block-content bytes received.
+    pub payload_received: u64,
     /// Completed request/reply round trips.
     pub round_trips: u64,
 }
@@ -167,10 +178,24 @@ impl NetStats {
         self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Records the block-content share of an outbound message. Called
+    /// alongside [`NetStats::record_send`] with `Request::payload_bytes()`,
+    /// so repair bandwidth can be compared net of header overhead.
+    pub fn record_send_payload(&self, bytes: usize) {
+        self.payload_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     /// Records an inbound message of `bytes`.
     pub fn record_receive(&self, bytes: usize) {
         self.msgs_received.fetch_add(1, Ordering::Relaxed);
         self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records the block-content share of an inbound message (see
+    /// [`NetStats::record_send_payload`]).
+    pub fn record_receive_payload(&self, bytes: usize) {
+        self.payload_received
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
@@ -186,6 +211,8 @@ impl NetStats {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             msgs_received: self.msgs_received.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            payload_sent: self.payload_sent.load(Ordering::Relaxed),
+            payload_received: self.payload_received.load(Ordering::Relaxed),
             round_trips: self.round_trips.load(Ordering::Relaxed),
         }
     }
@@ -200,6 +227,10 @@ impl NetSnapshot {
             bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
             msgs_received: self.msgs_received.saturating_sub(earlier.msgs_received),
             bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            payload_sent: self.payload_sent.saturating_sub(earlier.payload_sent),
+            payload_received: self
+                .payload_received
+                .saturating_sub(earlier.payload_received),
             round_trips: self.round_trips.saturating_sub(earlier.round_trips),
         }
     }
@@ -228,6 +259,24 @@ mod tests {
         assert_eq!(snap.bytes_received, 10);
         assert_eq!(snap.round_trips, 1);
         assert_eq!(snap.total_msgs(), 3);
+    }
+
+    #[test]
+    fn payload_counters_track_block_bytes_separately() {
+        let s = NetStats::new();
+        s.record_send(100);
+        s.record_send_payload(64);
+        s.record_receive(40);
+        // A metadata-only reply records no payload at all.
+        s.record_receive(40);
+        s.record_receive_payload(8);
+        let before = s.snapshot();
+        assert_eq!(before.payload_sent, 64);
+        assert_eq!(before.payload_received, 8);
+        s.record_send_payload(1);
+        let diff = s.snapshot().since(&before);
+        assert_eq!(diff.payload_sent, 1);
+        assert_eq!(diff.payload_received, 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use ajx_cluster::Cluster;
 use ajx_core::ProtocolConfig;
-use ajx_erasure::{PlanCache, ReedSolomon};
+use ajx_erasure::{CodeFamily, PlanCache, ReedSolomon};
 use ajx_storage::{NodeId, StripeId};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -124,7 +124,7 @@ proptest! {
         };
         for k in 1usize..=4 {
             for n in (k + 1)..=8 {
-                let code = ReedSolomon::new(k, n).unwrap();
+                let code: CodeFamily = ReedSolomon::new(k, n).unwrap().into();
                 let cache = PlanCache::new();
                 let data: Vec<Vec<u8>> =
                     (0..k).map(|_| (0..32).map(|_| next()).collect()).collect();

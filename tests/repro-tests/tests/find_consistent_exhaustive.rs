@@ -7,7 +7,7 @@
 //! size, and its result must itself satisfy the consistency conditions.
 
 use ajx_core::find_consistent;
-use ajx_storage::{ClientId, GetStateReply, OpMode, Tid, TidEntry};
+use ajx_storage::{ClientId, Epoch, GetStateReply, OpMode, Tid, TidEntry};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -86,6 +86,7 @@ fn arb_states(k: usize, n: usize) -> impl Strategy<Value = Vec<GetStateReply>> {
                 oldlist: vec![],
                 recentlist: vec![],
                 block: Some(vec![0]),
+                epoch: Epoch(0),
             })
             .collect();
         for (seq, (block, red_mask, swapped, gcd)) in writes.into_iter().enumerate() {
@@ -124,6 +125,7 @@ fn arb_states(k: usize, n: usize) -> impl Strategy<Value = Vec<GetStateReply>> {
                     oldlist: vec![],
                     recentlist: vec![],
                     block: None,
+                    epoch: Epoch(0),
                 };
             }
         }

@@ -1,0 +1,169 @@
+//! Local Reconstruction Code repair properties (DESIGN.md §12).
+//!
+//! * Any single erasure round-trips through `repair_plan`, and a lost
+//!   *data* block is repaired from its local group alone — at most
+//!   `ceil(k/g)` shares — never from the full `k`-block read an MDS
+//!   Reed-Solomon repair pays.
+//! * Every erasure pattern up to the guaranteed tolerance `h + 1` falls
+//!   back to a global decode (`select_decode_indices` + Vandermonde
+//!   inversion) that recovers the data byte-identically to the encode
+//!   ground truth — the same contract the RS reference codes satisfy.
+//! * A seeded chaos schedule on an LRC-coded cluster replays
+//!   byte-identical traces with zero consistency violations, so the code
+//!   family swap leaves the protocol's determinism intact.
+
+use ajx_cluster::{run_chaos, ChaosOptions};
+use ajx_core::ProtocolConfig;
+use ajx_erasure::CodeFamily;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// (k, g, h) shapes covering one group, uneven last group, multiple
+/// globals, and the benchmarked (12, 3, 1) point.
+const SHAPES: &[(usize, usize, usize)] =
+    &[(4, 2, 1), (5, 2, 1), (6, 3, 2), (9, 3, 2), (12, 3, 1)];
+
+/// All index subsets of `n` with exactly `r` elements.
+fn r_subsets(n: usize, r: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    fn go(start: usize, n: usize, r: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == r {
+            out.push(cur.clone());
+            return;
+        }
+        for t in start..n {
+            cur.push(t);
+            go(t + 1, n, r, cur, out);
+            cur.pop();
+        }
+    }
+    go(0, n, r, &mut cur, &mut out);
+    out
+}
+
+fn seeded_stripe(code: &CodeFamily, len: usize, seed: u64) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 33) as u8
+    };
+    let data: Vec<Vec<u8>> = (0..code.k())
+        .map(|_| (0..len).map(|_| next()).collect())
+        .collect();
+    let stripe = code.encode_stripe(&data).unwrap();
+    (data, stripe)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Single-erasure repair round-trips for every stripe index, and a
+    /// lost data block is repaired from inside its local group.
+    #[test]
+    fn prop_lrc_single_loss_repairs_locally(seed in any::<u64>()) {
+        for &(k, g, h) in SHAPES {
+            let code = CodeFamily::lrc(k, g, h).unwrap();
+            let lrc = code.as_lrc().unwrap();
+            let n = code.n();
+            let (_, stripe) = seeded_stripe(&code, 32, seed);
+            for lost in 0..n {
+                let available: Vec<usize> = (0..n).filter(|&t| t != lost).collect();
+                let plan = code.repair_plan(lost, &available).unwrap();
+                let shares: Vec<&[u8]> =
+                    plan.indices().map(|t| stripe[t].as_slice()).collect();
+                let mut out = vec![0u8; 32];
+                plan.reconstruct_into(&shares, &mut out).unwrap();
+                prop_assert_eq!(
+                    &out, &stripe[lost],
+                    "(k={}, g={}, h={}) lost={} must round-trip", k, g, h, lost
+                );
+                if let Some(t) = lrc.group_of_index(lost) {
+                    // Data or local-parity loss: the whole repair stays in
+                    // the lost block's local group.
+                    prop_assert!(
+                        plan.shares().len() <= lrc.group_size(),
+                        "(k={}, g={}, h={}) lost={} repaired from {} shares, \
+                         local group holds {}",
+                        k, g, h, lost, plan.shares().len(), lrc.group_size()
+                    );
+                    let group: Vec<usize> = lrc
+                        .group_data(t)
+                        .into_iter()
+                        .chain([lrc.local_parity_index(t)])
+                        .collect();
+                    for idx in plan.indices() {
+                        prop_assert!(
+                            group.contains(&idx),
+                            "(k={}, g={}, h={}) lost={} pulled share {} from \
+                             outside group {:?}",
+                            k, g, h, lost, idx, group
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every erasure pattern up to `h + 1` losses decodes globally to the
+    /// encode ground truth, exhaustively per shape.
+    #[test]
+    fn prop_lrc_multi_loss_decodes_globally(seed in any::<u64>()) {
+        for &(k, g, h) in SHAPES {
+            let code = CodeFamily::lrc(k, g, h).unwrap();
+            let n = code.n();
+            let (data, stripe) = seeded_stripe(&code, 32, seed);
+            prop_assert_eq!(code.tolerated_failures(), h + 1);
+            for erased in r_subsets(n, h + 1) {
+                let available: Vec<usize> =
+                    (0..n).filter(|t| !erased.contains(t)).collect();
+                let key = code.select_decode_indices(&available).unwrap_or_else(|| {
+                    panic!("(k={k}, g={g}, h={h}) erased {erased:?} must stay decodable")
+                });
+                let plan = code.plan_decode(&key).unwrap();
+                let shares: Vec<&[u8]> =
+                    key.iter().map(|&t| stripe[t].as_slice()).collect();
+                let mut bufs = vec![vec![0u8; 32]; k];
+                {
+                    let mut out: Vec<&mut [u8]> =
+                        bufs.iter_mut().map(|v| v.as_mut_slice()).collect();
+                    plan.decode_into(&shares, &mut out).unwrap();
+                }
+                prop_assert_eq!(
+                    &bufs, &data,
+                    "(k={}, g={}, h={}) erased {:?} must decode to ground truth",
+                    k, g, h, &erased
+                );
+            }
+        }
+    }
+}
+
+/// One seeded nemesis schedule against an LRC-coded cluster: the trace is
+/// byte-identical across reruns and the history stays consistent.
+#[test]
+fn lrc_chaos_smoke_identical_seeds() {
+    let mut cfg = ProtocolConfig::new_lrc(4, 2, 1, 32).unwrap();
+    cfg.busy_retry_limit = 24;
+    cfg.backoff.base = Duration::from_micros(20);
+    cfg.backoff.cap = Duration::from_micros(500);
+    let opts = ChaosOptions {
+        seed: 0x1BC_C0DE,
+        n_clients: 2,
+        rounds: 12,
+        ops_per_round: 5,
+        blocks: 8,
+        call_timeout: Duration::from_millis(30),
+        ..ChaosOptions::default()
+    };
+    let a = run_chaos(cfg.clone(), &opts);
+    let b = run_chaos(cfg, &opts);
+    assert!(a.violations.is_empty(), "{:?}", a.violations);
+    assert!(a.ops_ok > 0, "traffic actually flowed");
+    assert!(a.trace.len() > 10, "the schedule must actually inject faults");
+    assert_eq!(a.trace, b.trace, "same seed, same schedule, same trace");
+    assert_eq!(a.ops_ok, b.ops_ok);
+    assert_eq!(a.writes_indeterminate, b.writes_indeterminate);
+    assert_eq!(a.reads_failed, b.reads_failed);
+    assert_eq!(a.nemesis_events, b.nemesis_events);
+}

@@ -58,10 +58,16 @@ cargo run --release -p ajx-bench --bin ext_seq_throughput -- --smoke \
   > BENCH_datapath.smoke.json
 cat BENCH_datapath.smoke.json
 
-echo "== degraded reads + rebuild engine (ext_rebuild --smoke) =="
+echo "== degraded reads + rebuild engine + LRC repair bandwidth (ext_rebuild --smoke) =="
+# The binary asserts the >=4x engine speedup, zero-lock degraded reads,
+# and the LRC <= 0.5x RS repair-bytes floor itself; the grep re-asserts
+# the LRC floor from the artifact.
 cargo run --release -p ajx-bench --bin ext_rebuild -- --smoke \
   > BENCH_recovery.smoke.json
 cat BENCH_recovery.smoke.json
+grep -q '"lrc_repair_ratio_pass":true' BENCH_recovery.smoke.json \
+  || { echo "LRC repair-bandwidth floor violated (needs <= 0.5x RS bytes)"; exit 1; }
+echo "LRC repair floor holds (<= 0.5x RS bytes per lost block)"
 
 echo "== many-client scale-out (ext_many_clients --smoke) =="
 # The binary exits nonzero itself if the 5x floor or zero-failure
@@ -103,6 +109,11 @@ echo "ok"
 echo "== committed durability artifact holds the recovery floor =="
 grep -q '"recovery_floor_pass": true' BENCH_durability.json \
   || { echo "committed BENCH_durability.json fails the recovery floor"; exit 1; }
+echo "ok"
+
+echo "== committed recovery artifact holds the LRC repair floor =="
+grep -q '"lrc_repair_ratio_pass":true' BENCH_recovery.json \
+  || { echo "committed BENCH_recovery.json fails the LRC repair-bandwidth floor"; exit 1; }
 echo "ok"
 
 if [ "$DEEP" = "1" ]; then
