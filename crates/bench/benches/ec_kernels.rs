@@ -6,7 +6,7 @@
 //! encode/decode scale with k.
 
 use ajx_erasure::ReedSolomon;
-use ajx_gf::{kernel, slice, textbook, Gf256};
+use ajx_gf::{kernel, slice, textbook, Gf256, Gf65536};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -60,6 +60,80 @@ fn bench_backend_tiers(c: &mut Criterion) {
         });
         group.finish();
     }
+}
+
+/// The pre-engine wide-code kernel: one log/exp multiply per u16 word —
+/// what `WideReedSolomon` paid before the tiered `*16` family. Kept as the
+/// GF(2¹⁶) bench baseline.
+fn word_at_a_time_mul_add16(dst: &mut [u8], c: u16, src: &[u8]) {
+    for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+        let p = Gf65536::mul_raw(c, u16::from_le_bytes([s[0], s[1]]));
+        d.copy_from_slice(&(p ^ u16::from_le_bytes([d[0], d[1]])).to_le_bytes());
+    }
+}
+
+fn bench_backend_tiers16(c: &mut Criterion) {
+    // The GF(2^16) half of the tentpole claim: per-backend
+    // mul_add_assign16 throughput at the 4 KiB acceptance block and a
+    // streaming block, against the word-at-a-time log/exp baseline. This
+    // group feeds the `gf65536_mul_add_assign16` section of
+    // BENCH_kernels.json (written by the kernel_matrix binary).
+    for len in [4 * 1024usize, 64 * 1024] {
+        let mut group = c.benchmark_group(format!("gf65536_mul_add_{}KB_backends", len / 1024));
+        group.throughput(Throughput::Bytes(len as u64));
+        let src = block_of(len, 1);
+        let mut dst = block_of(len, 2);
+        group.bench_function("word_at_a_time", |b| {
+            b.iter(|| {
+                word_at_a_time_mul_add16(black_box(&mut dst), black_box(0xA57B), black_box(&src))
+            });
+        });
+        for backend in kernel::available_backends() {
+            group.bench_function(backend.name(), |b| {
+                b.iter(|| {
+                    kernel::mul_add_assign16_with(
+                        backend,
+                        black_box(&mut dst),
+                        black_box(0xA57B),
+                        black_box(&src),
+                    )
+                });
+            });
+        }
+        group.bench_function(format!("dispatch({})", kernel::active_backend().name()), |b| {
+            b.iter(|| {
+                slice::mul_add_assign16(black_box(&mut dst), black_box(0xA57B), black_box(&src))
+            });
+        });
+        group.finish();
+    }
+}
+
+fn bench_fused_multi16(c: &mut Criterion) {
+    // Wide-code encode inner loop: stream one 64 KiB data block through p
+    // redundant rows with one split-table build per row, vs p separate
+    // mul_add_assign16 calls (p table builds and p source re-reads).
+    let len = 64 * 1024;
+    let p = 4;
+    let mut group = c.benchmark_group("gf65536_mul_add_multi_64KB_p4");
+    group.throughput(Throughput::Bytes((len * p) as u64));
+    let src = block_of(len, 1);
+    let cs: Vec<u16> = (0..p as u16).map(|j| 0x53AB ^ j).collect();
+    let mut rows: Vec<Vec<u8>> = (0..p).map(|j| block_of(len, j as u8)).collect();
+    group.bench_function("fused_multi_row", |b| {
+        b.iter(|| {
+            let mut dsts: Vec<&mut [u8]> = rows.iter_mut().map(|r| r.as_mut_slice()).collect();
+            kernel::mul_add_multi16(black_box(&mut dsts), black_box(&cs), black_box(&src));
+        });
+    });
+    group.bench_function("row_by_row", |b| {
+        b.iter(|| {
+            for (row, &cc) in rows.iter_mut().zip(&cs) {
+                kernel::mul_add_assign16(black_box(row), black_box(cc), black_box(&src));
+            }
+        });
+    });
+    group.finish();
 }
 
 fn bench_fused_multi(c: &mut Criterion) {
@@ -169,7 +243,9 @@ criterion_group!(
     benches,
     bench_mul_add_kernels,
     bench_backend_tiers,
+    bench_backend_tiers16,
     bench_fused_multi,
+    bench_fused_multi16,
     bench_delta_vs_k,
     bench_encode_vs_k,
     bench_decode_vs_k,

@@ -2,31 +2,122 @@
 //!
 //! The paper's arithmetic is "over some finite field, usually GF(2^h)"
 //! (§3.3) with h = 8 in its implementation, capping stripes at 256 blocks.
-//! This experiment measures what the jump to h = 16 costs (wider tables,
-//! worse cache behaviour) and what it buys (stripes of hundreds of nodes
-//! for the §7 "industrial-strength disk array" vision).
+//! This experiment measures what the jump to h = 16 costs now that both
+//! fields run on the same tiered SIMD kernel engine — historically ~2.8×
+//! per encoded byte (word-at-a-time log/exp multiplies), now bounded by
+//! the split-table builds and the extra shuffle work per 16-bit lane — and
+//! what it buys (stripes of hundreds of nodes for the §7
+//! "industrial-strength disk array" vision).
 
 use ajx_bench::{banner, measure_us, render_table};
 use ajx_erasure::{ReedSolomon, WideReedSolomon};
+use ajx_gf::kernel;
 
-const BLOCK: usize = 1024;
+/// Gap measurements run at the 4 KiB acceptance block (compute-bound: the
+/// raw shuffle-cost of 16-bit lanes shows fully) and at a streaming block
+/// where both fields approach memory bandwidth — the regime real stripe
+/// blocks live in. The stripe tables keep a 4 KiB block.
+const BLOCK: usize = 4 * 1024;
+const STREAM_BLOCK: usize = 256 * 1024;
+
+/// The wide-vs-byte full-encode gap the kernel engine is expected to hold
+/// at identical (k, n) on SIMD tiers at streaming block sizes (was ~2.8×
+/// word-at-a-time at every size).
+const GAP_TARGET: f64 = 1.6;
+
+fn data_blocks(k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| (0..len).map(|b| (b * 31 + i) as u8).collect())
+        .collect()
+}
 
 fn main() {
     banner(
         "Extension — GF(2^16) wide codes: cost of going past n = 256",
         "same systematic construction and delta-update contract; wider field, \
-         wider stripes",
+         wider stripes, same tiered kernel engine",
     );
 
-    // Kernel-level comparison at identical (k, n).
-    println!("\nper-1KB-block compute, GF(2^8) vs GF(2^16), same 8-of-10 code:");
-    let rs8 = ReedSolomon::new(8, 10).unwrap();
-    let rs16 = WideReedSolomon::new(8, 10).unwrap();
-    let data: Vec<Vec<u8>> = (0..8)
-        .map(|i| (0..BLOCK).map(|b| (b * 31 + i) as u8).collect())
+    // Encode gap at identical (k, n), per backend and block size: both
+    // codes run the same fused multi-row kernel family under the same tier
+    // so the comparison isolates field width, not implementation
+    // generation. Coefficient columns are precomputed outside the timed
+    // region, exactly as `encode_into` holds them.
+    let (k, n) = (8usize, 10usize);
+    let rs8 = ReedSolomon::new(k, n).unwrap();
+    let rs16 = WideReedSolomon::new(k, n).unwrap();
+    let cs8: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..rs8.p()).map(|j| rs8.coefficient(j, i).as_byte()).collect())
         .collect();
+    let cs16: Vec<Vec<u16>> = (0..k)
+        .map(|i| (0..rs16.p()).map(|j| rs16.coefficient(j, i).to_u16()).collect())
+        .collect();
+
+    println!(
+        "\nfull-encode compute, GF(2^8) vs GF(2^16), same {k}-of-{n} code, per backend and block:"
+    );
+    let mut rows = Vec::new();
+    let mut active_gap = None;
+    for backend in kernel::available_backends() {
+        for len in [BLOCK, STREAM_BLOCK] {
+            let data = data_blocks(k, len);
+            let mut red = vec![vec![0u8; len]; rs8.p()];
+            let enc8 = measure_us(|| {
+                let mut views: Vec<&mut [u8]> =
+                    red.iter_mut().map(|b| b.as_mut_slice()).collect();
+                for b in views.iter_mut() {
+                    b.fill(0);
+                }
+                for (d, cs) in data.iter().zip(&cs8) {
+                    kernel::mul_add_multi_with(backend, &mut views, cs, d);
+                }
+            });
+            let enc16 = measure_us(|| {
+                let mut views: Vec<&mut [u8]> =
+                    red.iter_mut().map(|b| b.as_mut_slice()).collect();
+                for b in views.iter_mut() {
+                    b.fill(0);
+                }
+                for (d, cs) in data.iter().zip(&cs16) {
+                    kernel::mul_add_multi16_with(backend, &mut views, cs, d);
+                }
+            });
+            let gap = enc16 / enc8;
+            if backend == kernel::active_backend() && len == STREAM_BLOCK {
+                active_gap = Some(gap);
+            }
+            rows.push(vec![
+                backend.name().into(),
+                format!("{}KiB", len / 1024),
+                format!("{enc8:.1}"),
+                format!("{enc16:.1}"),
+                format!("{gap:.2}x"),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            &["backend", "block", "GF(2^8) encode us", "GF(2^16) encode us", "wide/byte gap"],
+            &rows
+        )
+    );
+
+    let gap = active_gap.expect("active backend is always listed");
+    let verdict = if gap <= GAP_TARGET { "PASS" } else { "MISS" };
+    println!(
+        "\nactive backend ({}), streaming {}KiB blocks: wide-vs-byte encode gap {gap:.2}x, \
+         target <= {GAP_TARGET}x [{verdict}]\n\
+         (word-at-a-time wide encode measured ~2.8x before the GF(2^16) kernel tiers; at the\n\
+         compute-bound 4 KiB point the remaining gap is the 16-bit lanes' extra shuffle work)",
+        kernel::active_backend().name(),
+        STREAM_BLOCK / 1024
+    );
+    let data = data_blocks(k, BLOCK);
     let new_blk: Vec<u8> = (0..BLOCK).map(|b| (b * 13) as u8).collect();
 
+    // End-to-end stripe paths under the active backend (includes the
+    // systematic copy and allocation, i.e. what callers actually see).
     let enc8 = measure_us(|| {
         std::hint::black_box(rs8.encode_stripe(&data).unwrap());
     });
@@ -39,22 +130,23 @@ fn main() {
     let d16 = measure_us(|| {
         std::hint::black_box(rs16.delta(0, 0, &new_blk, &data[0]).unwrap());
     });
+    println!("\nfull stripe paths, active backend:");
     print!(
         "{}",
         render_table(
-            &["kernel", "GF(2^8) us", "GF(2^16) us", "ratio"],
+            &["path", "GF(2^8) us", "GF(2^16) us", "ratio"],
             &[
                 vec![
-                    "full encode".into(),
+                    "encode_stripe".into(),
                     format!("{enc8:.1}"),
                     format!("{enc16:.1}"),
-                    format!("{:.1}x", enc16 / enc8),
+                    format!("{:.2}x", enc16 / enc8),
                 ],
                 vec![
                     "Delta".into(),
                     format!("{d8:.2}"),
                     format!("{d16:.2}"),
-                    format!("{:.1}x", d16 / d8),
+                    format!("{:.2}x", d16 / d8),
                 ],
             ]
         )

@@ -1,21 +1,33 @@
-//! Per-backend GF(2⁸) kernel throughput, machine-readable.
+//! Per-backend GF(2⁸) **and GF(2¹⁶)** kernel throughput, machine-readable.
 //!
-//! Measures `mul_add_assign` MB/s for every kernel tier this CPU supports
-//! (plus the seed's table-per-call scalar kernel as the baseline) and
-//! prints a JSON document on stdout. `tools/kernel_matrix.sh` redirects it
-//! to `BENCH_kernels.json` at the repo root.
+//! Measures `mul_add_assign` (byte field) and `mul_add_assign16` (wide
+//! field) MB/s for every kernel tier this CPU supports, each against its
+//! pre-engine baseline — the seed's table-per-call scalar kernel for
+//! GF(2⁸), a word-at-a-time log/exp multiply loop for GF(2¹⁶) — and prints
+//! a JSON document on stdout. `tools/kernel_matrix.sh` redirects it to
+//! `BENCH_kernels.json` at the repo root.
+//!
+//! The binary **asserts the wide-kernel acceptance floor in-process**: on
+//! AVX2-capable hosts the AVX2 GF(2¹⁶) tier must run ≥ 4× the scalar
+//! split-table tier at 4 KiB blocks, else it exits nonzero.
+//! `tools/check.sh` re-asserts the same floor from the emitted artifact.
 //!
 //! Flags:
 //!
 //! * `--list` — print the supported backend names, one per line, and exit
 //!   (used by the shell script to drive the `GF_BACKEND` test matrix).
 
-use ajx_gf::{kernel, Gf256};
+use ajx_gf::{kernel, Gf256, Gf65536};
 use std::time::Instant;
 
 /// Block sizes reported: the protocol's 1 KB block, the 4 KiB acceptance
 /// floor, and a streaming 64 KiB block.
 const SIZES: [usize; 3] = [1024, 4 * 1024, 64 * 1024];
+
+/// The acceptance floor: AVX2 `mul_add_assign16` vs the scalar split-table
+/// tier at this block size must be at least this ratio.
+const FLOOR_BLOCK: usize = 4 * 1024;
+const FLOOR_RATIO: f64 = 4.0;
 
 /// The seed's kernel: rebuild the 256-entry product table on every call.
 fn seed_mul_add_assign(dst: &mut [u8], c: u8, src: &[u8]) {
@@ -23,6 +35,15 @@ fn seed_mul_add_assign(dst: &mut [u8], c: u8, src: &[u8]) {
     Gf256::build_mul_table(c, &mut table);
     for (d, &s) in dst.iter_mut().zip(src) {
         *d ^= table[s as usize];
+    }
+}
+
+/// The pre-engine wide-code kernel: one log/exp multiply per u16 word,
+/// exactly what `WideReedSolomon` paid before the tiered `*16` family.
+fn word_at_a_time_mul_add16(dst: &mut [u8], c: u16, src: &[u8]) {
+    for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+        let p = Gf65536::mul_raw(c, u16::from_le_bytes([s[0], s[1]]));
+        d.copy_from_slice(&(p ^ u16::from_le_bytes([d[0], d[1]])).to_le_bytes());
     }
 }
 
@@ -47,6 +68,38 @@ fn fill(len: usize, seed: u8) -> Vec<u8> {
     (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
 }
 
+/// One `"sizes"` array: per block size, the baseline rate plus every
+/// backend's rate and speedup, with a caller-supplied measurement hook.
+fn size_entries(
+    baseline_field: &str,
+    mut baseline: impl FnMut(usize) -> f64,
+    mut tier: impl FnMut(kernel::Backend, usize) -> f64,
+) -> (String, Vec<(kernel::Backend, f64)>) {
+    let mut entries = Vec::new();
+    let mut at_floor = Vec::new();
+    for len in SIZES {
+        let base_rate = baseline(len);
+        let mut backends = Vec::new();
+        for backend in kernel::available_backends() {
+            let rate = tier(backend, len);
+            if len == FLOOR_BLOCK {
+                at_floor.push((backend, rate));
+            }
+            backends.push(format!(
+                "{{\"name\":\"{}\",\"mb_s\":{:.1},\"speedup_vs_baseline\":{:.2}}}",
+                backend.name(),
+                rate,
+                rate / base_rate
+            ));
+        }
+        entries.push(format!(
+            "      {{\"block_bytes\":{len},\"{baseline_field}\":{base_rate:.1},\"backends\":[{}]}}",
+            backends.join(",")
+        ));
+    }
+    (entries.join(",\n"), at_floor)
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--list") {
         for backend in kernel::available_backends() {
@@ -55,36 +108,87 @@ fn main() {
         return;
     }
 
-    let mut entries = Vec::new();
-    for len in SIZES {
-        let src = fill(len, 1);
-        let mut dst = fill(len, 2);
-        let seed_rate = mb_per_s(len, || {
-            seed_mul_add_assign(std::hint::black_box(&mut dst), 0x57, &src)
-        });
-        let mut backends = Vec::new();
-        for backend in kernel::available_backends() {
-            let rate = mb_per_s(len, || {
+    let (gf256_sizes, _) = size_entries(
+        "seed_table_per_call_mb_s",
+        |len| {
+            let src = fill(len, 1);
+            let mut dst = fill(len, 2);
+            mb_per_s(len, || {
+                seed_mul_add_assign(std::hint::black_box(&mut dst), 0x57, &src)
+            })
+        },
+        |backend, len| {
+            let src = fill(len, 1);
+            let mut dst = fill(len, 2);
+            mb_per_s(len, || {
                 kernel::mul_add_assign_with(backend, std::hint::black_box(&mut dst), 0x57, &src)
-            });
-            backends.push(format!(
-                "{{\"name\":\"{}\",\"mb_s\":{:.1},\"speedup_vs_seed\":{:.2}}}",
-                backend.name(),
-                rate,
-                rate / seed_rate
-            ));
+            })
+        },
+    );
+
+    let (gf65536_sizes, wide_at_floor) = size_entries(
+        "word_at_a_time_mb_s",
+        |len| {
+            let src = fill(len, 1);
+            let mut dst = fill(len, 2);
+            mb_per_s(len, || {
+                word_at_a_time_mul_add16(std::hint::black_box(&mut dst), 0xA57B, &src)
+            })
+        },
+        |backend, len| {
+            let src = fill(len, 1);
+            let mut dst = fill(len, 2);
+            mb_per_s(len, || {
+                kernel::mul_add_assign16_with(backend, std::hint::black_box(&mut dst), 0xA57B, &src)
+            })
+        },
+    );
+
+    // Acceptance floor (in-binary half): AVX2 16-bit tier >= 4x the scalar
+    // split-table tier at 4 KiB, asserted only where AVX2 exists.
+    let scalar_floor = wide_at_floor
+        .iter()
+        .find(|(b, _)| *b == kernel::Backend::Scalar)
+        .map(|&(_, r)| r)
+        .expect("scalar tier always present");
+    let avx2_floor = wide_at_floor
+        .iter()
+        .find(|(b, _)| b.name() == "avx2")
+        .map(|&(_, r)| r);
+    let floor_json = match avx2_floor {
+        Some(avx2) => {
+            let ratio = avx2 / scalar_floor;
+            let pass = ratio >= FLOOR_RATIO;
+            let json = format!(
+                "    \"avx2_floor_at_{FLOOR_BLOCK}\": {{\"required_vs_scalar_table\":{FLOOR_RATIO:.1},\
+                 \"measured\":{ratio:.2},\"avx2_floor_pass\":{pass}}},"
+            );
+            assert!(
+                pass,
+                "acceptance floor violated: AVX2 mul_add_assign16 is only {ratio:.2}x the \
+                 scalar split-table tier at {FLOOR_BLOCK} B (need >= {FLOOR_RATIO}x)"
+            );
+            json
         }
-        entries.push(format!(
-            "    {{\"block_bytes\":{len},\"seed_table_per_call_mb_s\":{seed_rate:.1},\"backends\":[{}]}}",
-            backends.join(",")
-        ));
-    }
+        None => "    \"avx2_floor_skipped\": \"no avx2 on this host\",".to_string(),
+    };
 
     println!("{{");
-    println!("  \"kernel\": \"gf256_mul_add_assign\",");
     println!("  \"active_backend\": \"{}\",", kernel::active_backend().name());
-    println!("  \"sizes\": [");
-    println!("{}", entries.join(",\n"));
+    println!("  \"kernels\": [");
+    println!("    {{");
+    println!("    \"kernel\": \"gf256_mul_add_assign\",");
+    println!("    \"sizes\": [");
+    println!("{gf256_sizes}");
+    println!("    ]");
+    println!("    }},");
+    println!("    {{");
+    println!("    \"kernel\": \"gf65536_mul_add_assign16\",");
+    println!("{floor_json}");
+    println!("    \"sizes\": [");
+    println!("{gf65536_sizes}");
+    println!("    ]");
+    println!("    }}");
     println!("  ]");
     println!("}}");
 }

@@ -16,6 +16,7 @@
 use crate::code::DecodePlan;
 use crate::error::CodeError;
 use crate::family::{CodeFamily, FamilyKey, RepairPlan};
+use crate::wide::{WideDecodePlan, WideReedSolomon};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -49,6 +50,10 @@ pub struct PlanCache {
     /// Memoized single-block repairs: `(family, lost, available)` →
     /// weighted share set.
     repairs: Mutex<HashMap<RepairKey, Arc<RepairPlan>>>,
+    /// Memoized wide-code (GF(2¹⁶)) decode plans, keyed like `plans` with
+    /// [`FamilyKey::Wide`]. A separate map because [`WideDecodePlan`] is a
+    /// distinct type from [`DecodePlan`] (u16 inverse columns).
+    wide: Mutex<HashMap<PlanKey, Arc<WideDecodePlan>>>,
 }
 
 /// Key of a memoized decode plan: code family + survivor index pattern.
@@ -119,6 +124,40 @@ impl PlanCache {
         ))
     }
 
+    /// The plan for decoding wide code `code` from `indices`, computing
+    /// and caching it on first use — the GF(2¹⁶) twin of
+    /// [`PlanCache::plan`], with the same outside-the-lock computation and
+    /// race semantics. Keyed under [`FamilyKey::Wide`], so a wide plan can
+    /// never collide with a byte-code plan of the same `(k, n)` shape.
+    ///
+    /// # Errors
+    ///
+    /// As [`WideReedSolomon::plan_decode`]; errors are not cached.
+    pub fn plan_wide(
+        &self,
+        code: &WideReedSolomon,
+        indices: &[usize],
+    ) -> Result<Arc<WideDecodePlan>, CodeError> {
+        let family = FamilyKey::Wide {
+            k: code.k(),
+            n: code.n(),
+        };
+        if let Some(plan) = self.lock_wide().get(&(family, indices.to_vec())) {
+            return Ok(Arc::clone(plan));
+        }
+        let fresh = Arc::new(code.plan_decode(indices)?);
+        Ok(Arc::clone(
+            self.lock_wide()
+                .entry((family, indices.to_vec()))
+                .or_insert(fresh),
+        ))
+    }
+
+    /// Number of cached wide-code decode patterns.
+    pub fn wide_len(&self) -> usize {
+        self.lock_wide().len()
+    }
+
     /// Number of cached decode patterns (repair memos not included).
     pub fn len(&self) -> usize {
         self.lock_plans().len()
@@ -133,6 +172,7 @@ impl PlanCache {
     pub fn clear(&self) {
         self.lock_plans().clear();
         self.lock_repairs().clear();
+        self.lock_wide().clear();
     }
 
     fn lock_plans(&self) -> std::sync::MutexGuard<'_, HashMap<PlanKey, Arc<DecodePlan>>> {
@@ -151,6 +191,13 @@ impl PlanCache {
             Err(poisoned) => poisoned.into_inner(),
         }
     }
+
+    fn lock_wide(&self) -> std::sync::MutexGuard<'_, HashMap<PlanKey, Arc<WideDecodePlan>>> {
+        match self.wide.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -158,6 +205,7 @@ impl std::fmt::Debug for PlanCache {
         f.debug_struct("PlanCache")
             .field("patterns", &self.len())
             .field("repairs", &self.lock_repairs().len())
+            .field("wide", &self.wide_len())
             .finish()
     }
 }
@@ -246,6 +294,46 @@ mod tests {
         let lrc = CodeFamily::lrc(4, 2, 1).unwrap();
         assert!(cache.repair(&lrc, 0, &[2, 3, 5]).is_none());
         assert!(cache.repair(&lrc, 0, &[2, 3, 5]).is_none());
+    }
+
+    #[test]
+    fn wide_plans_are_memoized_and_separate() {
+        let wide = WideReedSolomon::new(3, 6).unwrap();
+        let cache = PlanCache::new();
+        let a = cache.plan_wide(&wide, &[0, 2, 4]).unwrap();
+        let b = cache.plan_wide(&wide, &[0, 2, 4]).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup is a cache hit");
+        assert_eq!(cache.wide_len(), 1);
+        // Wide plans live in their own map: byte-code plans of the same
+        // shape do not collide, and clear() drops both.
+        let rs = CodeFamily::rs(3, 6).unwrap();
+        cache.plan(&rs, &[0, 2, 4]).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.wide_len(), 1);
+        assert!(cache.plan_wide(&wide, &[0, 0, 1]).is_err());
+        assert_eq!(cache.wide_len(), 1, "errors are not cached");
+        cache.clear();
+        assert_eq!(cache.wide_len(), 0);
+    }
+
+    #[test]
+    fn cached_wide_plan_decodes_identically_to_fresh() {
+        let wide = WideReedSolomon::new(3, 6).unwrap();
+        let data: Vec<Vec<u8>> = (0..3).map(|i| vec![(7 * i + 1) as u8; 24]).collect();
+        let stripe = wide.encode_stripe(&data).unwrap();
+        let cache = PlanCache::new();
+        let idx = [1usize, 3, 5];
+        let cached = cache.plan_wide(&wide, &idx).unwrap();
+        let fresh = wide.plan_decode(&idx).unwrap();
+        let shares: Vec<&[u8]> = idx.iter().map(|&i| &stripe[i][..]).collect();
+        let mut a = vec![vec![0u8; 24]; 3];
+        let mut b = vec![vec![0u8; 24]; 3];
+        let mut va: Vec<&mut [u8]> = a.iter_mut().map(|x| x.as_mut_slice()).collect();
+        let mut vb: Vec<&mut [u8]> = b.iter_mut().map(|x| x.as_mut_slice()).collect();
+        cached.decode_into(&shares, &mut va).unwrap();
+        fresh.decode_into(&shares, &mut vb).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, data);
     }
 
     #[test]

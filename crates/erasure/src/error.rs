@@ -21,6 +21,13 @@ pub enum CodeError {
     },
     /// Blocks in one call have different lengths.
     LengthMismatch,
+    /// A block has an odd byte length where the code requires whole
+    /// symbols wider than a byte (wide codes interpret blocks as
+    /// little-endian `u16` words).
+    OddBlockLength {
+        /// The offending byte length.
+        len: usize,
+    },
     /// A share index is not in `0..n`.
     IndexOutOfRange {
         /// The offending index.
@@ -51,6 +58,12 @@ impl fmt::Display for CodeError {
                 write!(f, "expected {expected} blocks, got {got}")
             }
             CodeError::LengthMismatch => write!(f, "blocks have mismatched lengths"),
+            CodeError::OddBlockLength { len } => {
+                write!(
+                    f,
+                    "block length {len} is odd; wide codes require whole little-endian u16 words"
+                )
+            }
             CodeError::IndexOutOfRange { index, n } => {
                 write!(f, "share index {index} out of range for stripe of {n} blocks")
             }
@@ -76,6 +89,7 @@ mod tests {
             CodeError::InvalidParams { k: 4, n: 4 }.to_string(),
             CodeError::WrongBlockCount { expected: 3, got: 1 }.to_string(),
             CodeError::LengthMismatch.to_string(),
+            CodeError::OddBlockLength { len: 7 }.to_string(),
             CodeError::IndexOutOfRange { index: 9, n: 4 }.to_string(),
             CodeError::DuplicateShare { index: 2 }.to_string(),
             CodeError::NotDecodable.to_string(),

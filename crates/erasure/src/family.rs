@@ -56,6 +56,17 @@ pub enum FamilyKey {
         /// Number of global parities.
         h: usize,
     },
+    /// Wide Reed-Solomon over GF(2¹⁶) with `k` data of `n` total blocks.
+    ///
+    /// A separate variant from [`FamilyKey::Rs`] even at equal `(k, n)`:
+    /// the two generators live in different fields, so their decode plans
+    /// must never share a cache entry.
+    Wide {
+        /// Data blocks per stripe.
+        k: usize,
+        /// Total blocks per stripe.
+        n: usize,
+    },
 }
 
 impl Deref for CodeFamily {

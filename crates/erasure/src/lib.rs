@@ -17,6 +17,10 @@
 //!   global parities, so a single lost block is repaired from its
 //!   ~`k/g`-block group instead of `k` blocks ([`CodeFamily::repair_plan`]
 //!   picks the cheapest viable repair set for either family).
+//! * [`WideReedSolomon`] — the same systematic construction over GF(2¹⁶)
+//!   for stripes past 256 blocks, running on the same tiered SIMD kernels
+//!   as the byte code (allocation-free [`WideReedSolomon::encode_into`],
+//!   reusable [`WideDecodePlan`]s memoized by [`PlanCache::plan_wide`]).
 //! * [`StripeLayout`] — the §3.11 rotated placement of stripes over storage
 //!   nodes that spreads parity load and keeps sequential I/O on distinct
 //!   nodes.
@@ -63,4 +67,4 @@ pub use layout::{NodeIndex, Placement, Role, StripeLayout};
 pub use linear::{toy_2_of_4, LinearCode};
 pub use lrc::Lrc;
 pub use matrix::Matrix;
-pub use wide::{WideReedSolomon, MAX_N_WIDE};
+pub use wide::{WideDecodePlan, WideReedSolomon, MAX_N_WIDE};

@@ -6,7 +6,11 @@
 //! a `p × k` coefficient matrix, and everything the protocol needs —
 //! encode, decode-from-any-k-ish subset, delta updates — follows from
 //! linearity alone. [`crate::ReedSolomon`] is the production instance over
-//! GF(2⁸); [`toy_2_of_4`] is the paper's §3.3 teaching example over GF(257).
+//! GF(2⁸) and [`crate::WideReedSolomon`] over GF(2¹⁶) (both stream bytes
+//! through the `ajx_gf` kernel tiers rather than wrapping each symbol in a
+//! field element — this generic form doubles as their differential-test
+//! reference); [`toy_2_of_4`] is the paper's §3.3 teaching example over
+//! GF(257).
 
 use crate::error::CodeError;
 use crate::matrix::Matrix;

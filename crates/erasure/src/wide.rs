@@ -4,17 +4,21 @@
 //! For the paper's closing vision — disk arrays built from very many cheap
 //! adapters — this module provides the same systematic Vandermonde
 //! construction over GF(2¹⁶). Blocks remain plain byte slices; they are
-//! interpreted as little-endian `u16` words, so block lengths must be
-//! even.
+//! interpreted as **little-endian `u16` words**, so block lengths must be
+//! even — odd lengths are rejected with [`CodeError::OddBlockLength`].
 //!
-//! Performance note: the GF(2¹⁶) kernels run ~2-4× slower per byte than
-//! the byte-field ones (wider tables, worse cache locality); use
-//! [`crate::ReedSolomon`] whenever `n ≤ 256`.
+//! The hot paths mirror the byte code exactly: encode streams each data
+//! block once through all redundant rows via the fused
+//! [`slice::mul_add_multi16`] kernel (no per-word field-element wrapping,
+//! no allocation in [`WideReedSolomon::encode_into`]), and decode hoists
+//! the k×k inversion into a reusable [`WideDecodePlan`]. On the tiered
+//! SIMD backends the per-byte cost lands within ~1.5× of the byte code —
+//! wide codes no longer pay a word-at-a-time penalty, just the split-table
+//! builds (see `ajx_gf::kernel` and `EXPERIMENTS.md` for measurements).
 
 use crate::error::CodeError;
-use crate::linear::LinearCode;
 use crate::matrix::Matrix;
-use ajx_gf::Gf65536;
+use ajx_gf::{slice, Field, Gf65536};
 
 /// A systematic k-of-n Reed-Solomon code over GF(2¹⁶).
 ///
@@ -39,31 +43,43 @@ use ajx_gf::Gf65536;
 pub struct WideReedSolomon {
     k: usize,
     n: usize,
-    inner: LinearCode<Gf65536>,
+    /// `p × k` matrix of redundancy coefficients: `red[(j, i)] = α_{k+j, i}`.
+    red: Matrix<Gf65536>,
+    /// The same coefficients column-major as raw `u16`s:
+    /// `red_cols[i][j] = α_{k+j, i}` — one ready-made coefficient vector
+    /// per data block for the fused multi-row kernel.
+    red_cols: Vec<Vec<u16>>,
 }
 
 /// Largest stripe width supported over GF(2¹⁶).
 pub const MAX_N_WIDE: usize = 65536;
 
-fn bytes_to_words(b: &[u8]) -> Result<Vec<Gf65536>, CodeError> {
-    if !b.len().is_multiple_of(2) {
-        return Err(CodeError::LengthMismatch);
+/// Rejects odd block lengths (blocks are little-endian `u16` words).
+fn check_even(len: usize) -> Result<(), CodeError> {
+    if len.is_multiple_of(2) {
+        Ok(())
+    } else {
+        Err(CodeError::OddBlockLength { len })
     }
-    Ok(b.chunks_exact(2)
-        .map(|c| Gf65536::new(u16::from_le_bytes([c[0], c[1]])))
-        .collect())
 }
 
-fn words_to_bytes(w: &[Gf65536]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(w.len() * 2);
-    for x in w {
-        out.extend_from_slice(&x.to_u16().to_le_bytes());
+/// Common length of `blocks`, which must be equal and even.
+fn check_equal_even_lengths<B: AsRef<[u8]>>(blocks: &[B]) -> Result<usize, CodeError> {
+    let len = blocks.first().map_or(0, |b| b.as_ref().len());
+    if blocks.iter().any(|b| b.as_ref().len() != len) {
+        return Err(CodeError::LengthMismatch);
     }
-    out
+    check_even(len)?;
+    Ok(len)
 }
 
 impl WideReedSolomon {
     /// Builds the code.
+    ///
+    /// As with the byte code, all per-coefficient state the hot paths need
+    /// is materialized here (the column-major `u16` layout); the per-call
+    /// split-nibble tables are built inside the kernels and amortized over
+    /// each block.
     ///
     /// # Errors
     ///
@@ -78,11 +94,16 @@ impl WideReedSolomon {
             .inverted()
             .expect("vandermonde on distinct points is invertible");
         let bottom = v.select_rows(&(k..n).collect::<Vec<_>>());
-        let alpha = bottom.mul(&top_inv);
+        let red = bottom.mul(&top_inv);
+        let p = n - k;
+        let red_cols = (0..k)
+            .map(|i| (0..p).map(|j| red[(j, i)].to_u16()).collect())
+            .collect();
         Ok(WideReedSolomon {
             k,
             n,
-            inner: LinearCode::from_coefficients(alpha)?,
+            red,
+            red_cols,
         })
     }
 
@@ -101,39 +122,171 @@ impl WideReedSolomon {
         self.n - self.k
     }
 
-    /// Encodes the full stripe (data blocks followed by redundancy).
+    /// The erasure-code coefficient `α_ji` applied to data block `i` in
+    /// redundant block `k + j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j ≥ p` or `i ≥ k`.
+    pub fn coefficient(&self, j: usize, i: usize) -> Gf65536 {
+        assert!(j < self.p(), "redundant index {j} out of range");
+        assert!(i < self.k, "data index {i} out of range");
+        self.red[(j, i)]
+    }
+
+    /// Computes the `p` redundant blocks for `data` (one `Vec` per block).
     ///
     /// # Errors
     ///
-    /// [`CodeError::WrongBlockCount`] / [`CodeError::LengthMismatch`] for
-    /// malformed or odd-length blocks.
-    pub fn encode_stripe<B: AsRef<[u8]>>(&self, data: &[B]) -> Result<Vec<Vec<u8>>, CodeError> {
+    /// [`CodeError::WrongBlockCount`] if `data.len() != k`;
+    /// [`CodeError::LengthMismatch`] on ragged blocks;
+    /// [`CodeError::OddBlockLength`] on an odd block length.
+    pub fn encode<B: AsRef<[u8]>>(&self, data: &[B]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let len = data.first().map_or(0, |b| b.as_ref().len());
+        let mut out = vec![vec![0u8; len]; self.p()];
+        let mut views: Vec<&mut [u8]> = out.iter_mut().map(|b| b.as_mut_slice()).collect();
+        self.encode_into(data, &mut views)?;
+        Ok(out)
+    }
+
+    /// [`encode`](WideReedSolomon::encode) into caller-owned scratch: fills
+    /// the `p` pre-sized blocks of `out` with the redundancy for `data`,
+    /// performing **no heap allocation**. Each data block is streamed once
+    /// through all `p` output rows via the fused multi-row GF(2¹⁶) kernel,
+    /// with split-product tables built in stack batches.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::WrongBlockCount`] if `data.len() != k` or
+    /// `out.len() != p`; [`CodeError::LengthMismatch`] /
+    /// [`CodeError::OddBlockLength`] on malformed blocks.
+    pub fn encode_into<B: AsRef<[u8]>>(
+        &self,
+        data: &[B],
+        out: &mut [&mut [u8]],
+    ) -> Result<(), CodeError> {
         if data.len() != self.k {
             return Err(CodeError::WrongBlockCount {
                 expected: self.k,
                 got: data.len(),
             });
         }
-        let words: Vec<Vec<Gf65536>> = data
-            .iter()
-            .map(|b| bytes_to_words(b.as_ref()))
-            .collect::<Result<_, _>>()?;
-        let stripe = self.inner.encode_stripe(&words)?;
-        Ok(stripe.iter().map(|w| words_to_bytes(w)).collect())
+        if out.len() != self.p() {
+            return Err(CodeError::WrongBlockCount {
+                expected: self.p(),
+                got: out.len(),
+            });
+        }
+        let len = check_equal_even_lengths(data)?;
+        for o in out.iter_mut() {
+            if o.len() != len {
+                return Err(CodeError::LengthMismatch);
+            }
+            o.fill(0);
+        }
+        for (i, d) in data.iter().enumerate() {
+            slice::mul_add_multi16(out, &self.red_cols[i], d.as_ref());
+        }
+        Ok(())
+    }
+
+    /// Encodes the full stripe (data blocks followed by redundancy).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WideReedSolomon::encode`].
+    pub fn encode_stripe<B: AsRef<[u8]>>(&self, data: &[B]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let red = self.encode(data)?;
+        let mut stripe: Vec<Vec<u8>> = data.iter().map(|b| b.as_ref().to_vec()).collect();
+        stripe.extend(red);
+        Ok(stripe)
+    }
+
+    /// [`encode_stripe`](WideReedSolomon::encode_stripe) taking the data
+    /// blocks by value: the returned stripe reuses them directly, so only
+    /// the `p` redundant blocks are allocated.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WideReedSolomon::encode`].
+    pub fn encode_stripe_owned(&self, data: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, CodeError> {
+        let red = self.encode(&data)?;
+        let mut stripe = data;
+        stripe.extend(red);
+        Ok(stripe)
     }
 
     /// Recovers the data blocks from any `k` distinct shares.
     ///
     /// # Errors
     ///
-    /// As [`crate::ReedSolomon::decode`], plus odd-length rejection.
+    /// As [`crate::ReedSolomon::decode`], plus
+    /// [`CodeError::OddBlockLength`] on odd-length blocks.
     pub fn decode(&self, shares: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>, CodeError> {
-        let words: Vec<(usize, Vec<Gf65536>)> = shares
+        let indices: Vec<usize> = shares.iter().map(|&(idx, _)| idx).collect();
+        let plan = self.plan_decode(&indices)?;
+        let blocks: Vec<&[u8]> = shares.iter().map(|&(_, b)| b).collect();
+        let len = check_equal_even_lengths(&blocks)?;
+        let mut data = vec![vec![0u8; len]; self.k];
+        let mut views: Vec<&mut [u8]> = data.iter_mut().map(|b| b.as_mut_slice()).collect();
+        plan.decode_into(&blocks, &mut views)?;
+        Ok(data)
+    }
+
+    /// Precomputes everything needed to decode from the given share
+    /// indices: validates the set, inverts the k×k GF(2¹⁶) system once,
+    /// and stores the inverse column-major — the wide-code twin of
+    /// [`crate::ReedSolomon::plan_decode`]. Pair with
+    /// [`WideDecodePlan::decode_into`] (or memoize through
+    /// [`crate::PlanCache::plan_wide`]) to make per-stripe decode pure
+    /// kernel streaming.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::WrongBlockCount`] unless exactly `k` indices are given;
+    /// [`CodeError::IndexOutOfRange`] / [`CodeError::DuplicateShare`] on
+    /// bad indices.
+    pub fn plan_decode(&self, indices: &[usize]) -> Result<WideDecodePlan, CodeError> {
+        if indices.len() != self.k {
+            return Err(CodeError::WrongBlockCount {
+                expected: self.k,
+                got: indices.len(),
+            });
+        }
+        let mut seen = vec![false; self.n];
+        for &idx in indices {
+            if idx >= self.n {
+                return Err(CodeError::IndexOutOfRange { index: idx, n: self.n });
+            }
+            if seen[idx] {
+                return Err(CodeError::DuplicateShare { index: idx });
+            }
+            seen[idx] = true;
+        }
+
+        let rows: Vec<Vec<Gf65536>> = indices
             .iter()
-            .map(|&(i, b)| Ok((i, bytes_to_words(b)?)))
-            .collect::<Result<_, CodeError>>()?;
-        let data = self.inner.decode(&words)?;
-        Ok(data.iter().map(|w| words_to_bytes(w)).collect())
+            .map(|&idx| {
+                if idx < self.k {
+                    let mut row = vec![Gf65536::ZERO; self.k];
+                    row[idx] = Gf65536::ONE;
+                    row
+                } else {
+                    self.red.row(idx - self.k).to_vec()
+                }
+            })
+            .collect();
+        let m = Matrix::from_rows(rows);
+        let inv = m.inverted().ok_or(CodeError::NotDecodable)?;
+
+        let inv_cols: Vec<Vec<u16>> = (0..self.k)
+            .map(|s| (0..self.k).map(|i| inv[(i, s)].to_u16()).collect())
+            .collect();
+        Ok(WideDecodePlan {
+            k: self.k,
+            indices: indices.to_vec(),
+            inv_cols,
+        })
     }
 
     /// The increment `α_ji · (new − old)` for redundant block `k + j` when
@@ -142,11 +295,40 @@ impl WideReedSolomon {
     ///
     /// # Errors
     ///
-    /// [`CodeError::LengthMismatch`] for mismatched or odd lengths.
+    /// [`CodeError::LengthMismatch`] / [`CodeError::OddBlockLength`] for
+    /// mismatched or odd lengths.
     pub fn delta(&self, j: usize, i: usize, new: &[u8], old: &[u8]) -> Result<Vec<u8>, CodeError> {
-        let new_w = bytes_to_words(new)?;
-        let old_w = bytes_to_words(old)?;
-        Ok(words_to_bytes(&self.inner.delta(j, i, &new_w, &old_w)?))
+        let mut out = vec![0u8; new.len()];
+        self.delta_into_buf(j, i, new, old, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`delta`](WideReedSolomon::delta) into a caller-owned buffer — the
+    /// allocation-free form, computed with the fused subtract-scale kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::LengthMismatch`] unless `new`, `old` and `out` all have
+    /// the same length; [`CodeError::OddBlockLength`] if that length is odd.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j ≥ p` or `i ≥ k`.
+    pub fn delta_into_buf(
+        &self,
+        j: usize,
+        i: usize,
+        new: &[u8],
+        old: &[u8],
+        out: &mut [u8],
+    ) -> Result<(), CodeError> {
+        if new.len() != old.len() || out.len() != new.len() {
+            return Err(CodeError::LengthMismatch);
+        }
+        check_even(new.len())?;
+        let c = self.coefficient(j, i);
+        slice::delta_into16(out, c.to_u16(), new, old);
+        Ok(())
     }
 
     /// Adds `delta` into `block` in place (the node-side apply; XOR, since
@@ -156,13 +338,70 @@ impl WideReedSolomon {
     ///
     /// Panics if lengths differ.
     pub fn apply_delta(block: &mut [u8], delta: &[u8]) {
-        ajx_gf::slice::add_assign(block, delta);
+        slice::add_assign(block, delta);
+    }
+}
+
+/// A prepared wide-code decode for one fixed erasure pattern: the k×k
+/// GF(2¹⁶) inverse is computed once by [`WideReedSolomon::plan_decode`]
+/// and reused across stripes — the wide twin of [`crate::DecodePlan`].
+#[derive(Clone, Debug)]
+pub struct WideDecodePlan {
+    k: usize,
+    indices: Vec<usize>,
+    /// The k×k inverse stored column-major: `inv_cols[s][i]` is the weight
+    /// of share `s` in output data block `i`.
+    inv_cols: Vec<Vec<u16>>,
+}
+
+impl WideDecodePlan {
+    /// The share indices this plan decodes from, in the order
+    /// `decode_into` expects the share blocks.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Decodes `shares` (blocks in [`indices`](WideDecodePlan::indices)
+    /// order) into the `k` pre-sized blocks of `out`, performing **no heap
+    /// allocation**: each share streams once through all `k` output rows
+    /// via the fused multi-row GF(2¹⁶) kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::WrongBlockCount`] on wrong share/output counts;
+    /// [`CodeError::LengthMismatch`] / [`CodeError::OddBlockLength`] on
+    /// malformed blocks.
+    pub fn decode_into(&self, shares: &[&[u8]], out: &mut [&mut [u8]]) -> Result<(), CodeError> {
+        if shares.len() != self.k {
+            return Err(CodeError::WrongBlockCount {
+                expected: self.k,
+                got: shares.len(),
+            });
+        }
+        if out.len() != self.k {
+            return Err(CodeError::WrongBlockCount {
+                expected: self.k,
+                got: out.len(),
+            });
+        }
+        let len = check_equal_even_lengths(shares)?;
+        for o in out.iter_mut() {
+            if o.len() != len {
+                return Err(CodeError::LengthMismatch);
+            }
+            o.fill(0);
+        }
+        for (s, share) in shares.iter().enumerate() {
+            slice::mul_add_multi16(out, &self.inv_cols[s], share);
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::linear::LinearCode;
     use rand::{Rng, SeedableRng};
 
     fn random_data(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
@@ -180,7 +419,22 @@ mod tests {
         let rs = WideReedSolomon::new(2, 4).unwrap();
         assert!(matches!(
             rs.encode_stripe(&[vec![1u8; 3], vec![2u8; 3]]),
-            Err(CodeError::LengthMismatch)
+            Err(CodeError::OddBlockLength { len: 3 })
+        ));
+        let b = [0u8; 5];
+        assert!(matches!(
+            rs.decode(&[(0, &b[..]), (1, &b[..])]),
+            Err(CodeError::OddBlockLength { len: 5 })
+        ));
+        assert!(matches!(
+            rs.delta(0, 0, &b, &b),
+            Err(CodeError::OddBlockLength { len: 5 })
+        ));
+        let mut out = [vec![0u8; 5], vec![0u8; 5]];
+        let mut views: Vec<&mut [u8]> = out.iter_mut().map(|b| b.as_mut_slice()).collect();
+        assert!(matches!(
+            rs.encode_into(&[vec![0u8; 5], vec![0u8; 5]], &mut views),
+            Err(CodeError::OddBlockLength { len: 5 })
         ));
     }
 
@@ -199,6 +453,88 @@ mod tests {
     }
 
     #[test]
+    fn matches_generic_linear_code_reference() {
+        // The kernel-streaming encode/decode must agree with the
+        // word-at-a-time LinearCode<Gf65536> construction it replaced.
+        let rs = WideReedSolomon::new(5, 9).unwrap();
+        let reference = LinearCode::from_coefficients(rs.red.clone()).unwrap();
+        let data = random_data(5, 64, 42);
+        let words: Vec<Vec<Gf65536>> = data
+            .iter()
+            .map(|b| {
+                b.chunks_exact(2)
+                    .map(|c| Gf65536::new(u16::from_le_bytes([c[0], c[1]])))
+                    .collect()
+            })
+            .collect();
+        let stripe = rs.encode_stripe(&data).unwrap();
+        let ref_stripe = reference.encode_stripe(&words).unwrap();
+        for (fast, slow) in stripe.iter().zip(&ref_stripe) {
+            let slow_bytes: Vec<u8> = slow
+                .iter()
+                .flat_map(|w| w.to_u16().to_le_bytes())
+                .collect();
+            assert_eq!(fast, &slow_bytes);
+        }
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_is_reusable() {
+        let rs = WideReedSolomon::new(3, 7).unwrap();
+        let mut scratch = vec![vec![0xEEu8; 40]; rs.p()];
+        for seed in 0..4 {
+            let data = random_data(3, 40, seed);
+            let mut views: Vec<&mut [u8]> =
+                scratch.iter_mut().map(|b| b.as_mut_slice()).collect();
+            rs.encode_into(&data, &mut views).unwrap();
+            assert_eq!(scratch, rs.encode(&data).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn encode_stripe_owned_matches_encode_stripe() {
+        let rs = WideReedSolomon::new(3, 5).unwrap();
+        let data = random_data(3, 24, 11);
+        assert_eq!(
+            rs.encode_stripe_owned(data.clone()).unwrap(),
+            rs.encode_stripe(&data).unwrap()
+        );
+    }
+
+    #[test]
+    fn decode_plan_reused_across_stripes() {
+        let rs = WideReedSolomon::new(3, 6).unwrap();
+        let plan = rs.plan_decode(&[1, 4, 5]).unwrap();
+        assert_eq!(plan.indices(), &[1, 4, 5]);
+        let mut out = vec![vec![0u8; 32]; 3];
+        for seed in 0..4 {
+            let data = random_data(3, 32, seed + 100);
+            let stripe = rs.encode_stripe(&data).unwrap();
+            let shares: Vec<&[u8]> = vec![&stripe[1], &stripe[4], &stripe[5]];
+            let mut views: Vec<&mut [u8]> = out.iter_mut().map(|b| b.as_mut_slice()).collect();
+            plan.decode_into(&shares, &mut views).unwrap();
+            assert_eq!(out, data, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn plan_decode_validates_indices() {
+        let rs = WideReedSolomon::new(2, 4).unwrap();
+        assert!(matches!(
+            rs.plan_decode(&[0]),
+            Err(CodeError::WrongBlockCount { .. })
+        ));
+        assert!(matches!(
+            rs.plan_decode(&[0, 0]),
+            Err(CodeError::DuplicateShare { .. })
+        ));
+        assert!(matches!(
+            rs.plan_decode(&[0, 9]),
+            Err(CodeError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
     fn delta_update_equals_reencode() {
         let rs = WideReedSolomon::new(3, 6).unwrap();
         let mut data = random_data(3, 32, 2);
@@ -211,6 +547,22 @@ mod tests {
             WideReedSolomon::apply_delta(&mut stripe[3 + j], &d);
         }
         assert_eq!(stripe, rs.encode_stripe(&data).unwrap());
+    }
+
+    #[test]
+    fn delta_into_buf_matches_delta() {
+        let rs = WideReedSolomon::new(4, 7).unwrap();
+        let old = random_data(1, 20, 21).pop().unwrap();
+        let new = random_data(1, 20, 22).pop().unwrap();
+        let mut buf = vec![0u8; 20];
+        for j in 0..rs.p() {
+            rs.delta_into_buf(j, 2, &new, &old, &mut buf).unwrap();
+            assert_eq!(buf, rs.delta(j, 2, &new, &old).unwrap(), "row {j}");
+        }
+        assert!(matches!(
+            rs.delta_into_buf(0, 0, &new, &old, &mut [0u8; 4]),
+            Err(CodeError::LengthMismatch)
+        ));
     }
 
     #[test]
@@ -251,5 +603,7 @@ mod tests {
         let rs = WideReedSolomon::new(2, 4).unwrap();
         let stripe = rs.encode_stripe(&[vec![], vec![]]).unwrap();
         assert!(stripe.iter().all(Vec::is_empty));
+        let shares: Vec<(usize, &[u8])> = vec![(2, &stripe[2][..]), (3, &stripe[3][..])];
+        assert_eq!(rs.decode(&shares).unwrap(), vec![vec![0u8; 0]; 2]);
     }
 }

@@ -1,4 +1,4 @@
-//! Tiered GF(2⁸) bulk-multiply kernel engine.
+//! Tiered GF(2⁸) **and GF(2¹⁶)** bulk-multiply kernel engine.
 //!
 //! The protocol's hot path is `dst ^= c·src` over whole blocks (encode rows,
 //! delta updates, decode back-substitution). This module provides that kernel
@@ -11,13 +11,30 @@
 //! | `ssse3`  | split-nibble tables via `_mm_shuffle_epi8`  | 16 B/step  |
 //! | `avx2`   | same tables via `_mm256_shuffle_epi8`       | 32 B/step  |
 //!
-//! All coefficient tables — the full 256-entry product table per coefficient
-//! used by the scalar tier, and the 16+16-entry low/high-nibble tables used
-//! by the SIMD tiers — are **generated at compile time** for all 255
-//! nontrivial coefficients ([`MUL_TABLES`], [`NIB_TABLES`]). No kernel call
-//! ever builds a table at runtime; the old per-call
+//! All GF(2⁸) coefficient tables — the full 256-entry product table per
+//! coefficient used by the scalar tier, and the 16+16-entry low/high-nibble
+//! tables used by the SIMD tiers — are **generated at compile time** for all
+//! 255 nontrivial coefficients ([`MUL_TABLES`], [`NIB_TABLES`]). No GF(2⁸)
+//! kernel call ever builds a table at runtime; the old per-call
 //! [`Gf256::build_mul_table`](crate::Gf256::build_mul_table) cost is gone
 //! entirely.
+//!
+//! # The GF(2¹⁶) family
+//!
+//! Wide codes ([`Gf65536`](crate::Gf65536), stripes past 256 blocks) get the
+//! same four tiers through the `*16` kernels ([`mul_add_assign16`],
+//! [`mul_assign16`], [`delta_into16`], [`mul_add_multi16`]). Blocks stay
+//! plain byte slices interpreted as **little-endian `u16` words**, so every
+//! `*16` kernel requires even slice lengths (odd lengths panic here; the
+//! erasure layer rejects them with a typed error first). Compile-time tables
+//! are infeasible at 2¹⁶ coefficients, so each call decomposes its constant
+//! `c` into four 4-bit × 16-bit partial-product tables ([`Split16`]) —
+//! `c·n`, `c·(n<<4)`, `c·(n<<8)`, `c·(n<<12)` for `n` in `0..16` — built
+//! once per call (64 log/exp multiplies) and amortized over the block; the
+//! SIMD tiers consume the same tables split into low/high byte planes via
+//! PSHUFB, the scalar tier reads the `u16` entries directly. Sub-step
+//! ("odd") tails always fall back to the scalar 16-bit path, never to a
+//! byte-field kernel.
 //!
 //! # Backend selection
 //!
@@ -44,6 +61,7 @@ pub(crate) mod swar;
 pub(crate) mod x86;
 
 use crate::gf256::{EXP, LOG};
+use crate::gf65536::Gf65536;
 
 /// Slices shorter than this skip table lookups entirely and multiply each
 /// byte directly through the log/exp tables: for a handful of bytes the
@@ -51,6 +69,12 @@ use crate::gf256::{EXP, LOG};
 /// product-table row, and the SIMD setup (broadcasts, masks) never pays for
 /// itself.
 pub const SMALL_SLICE_LEN: usize = 16;
+
+/// GF(2¹⁶) slices shorter than this (in bytes) skip the [`Split16`] build —
+/// 64 log/exp multiplies — and multiply each `u16` word directly through
+/// the GF(2¹⁶) log/exp tables instead. At 32 words the table build starts
+/// paying for itself.
+pub const SMALL_SLICE_LEN16: usize = 64;
 
 const fn build_full_tables() -> [[u8; 256]; 256] {
     let mut t = [[0u8; 256]; 256];
@@ -367,6 +391,340 @@ pub fn add_assign(dst: &mut [u8], src: &[u8]) {
     }
 }
 
+// ---- GF(2¹⁶) kernel family ----
+
+/// The four 4-bit × 16-bit partial-product tables of one GF(2¹⁶) constant.
+///
+/// A 16-bit symbol splits into four nibbles, `x = n₀ ⊕ n₁·2⁴ ⊕ n₂·2⁸ ⊕
+/// n₃·2¹²`, and multiplication by a fixed `c` is linear over XOR, so
+/// `c·x = t₀[n₀] ⊕ t₁[n₁] ⊕ t₂[n₂] ⊕ t₃[n₃]` with `tᵢ[n] = c·(n·2⁴ⁱ)`.
+/// Each table has 16 `u16` entries; [`Split16::new`] builds all four (64
+/// log/exp multiplies), once per kernel call, amortized over the block —
+/// compile-time tables are infeasible for 65 535 constants. The entries are
+/// also kept pre-split into low/high **byte planes** so the PSHUFB tiers
+/// can load them straight into shuffle registers.
+#[derive(Clone, Copy)]
+pub struct Split16 {
+    /// `w[t][n] = c·(n << 4t)` as raw `u16`.
+    pub(crate) w: [[u16; 16]; 4],
+    /// Low byte of each `w` entry — the PSHUFB table for the result's
+    /// low-byte plane.
+    pub(crate) lo: [[u8; 16]; 4],
+    /// High byte of each `w` entry — the table for the high-byte plane.
+    pub(crate) hi: [[u8; 16]; 4],
+}
+
+impl Split16 {
+    const ZERO: Split16 = Split16 {
+        w: [[0; 16]; 4],
+        lo: [[0; 16]; 4],
+        hi: [[0; 16]; 4],
+    };
+
+    /// Builds the partial-product tables of `c`.
+    pub fn new(c: u16) -> Split16 {
+        let mut t = Split16::ZERO;
+        for shift in 0..4 {
+            for n in 1..16u16 {
+                let p = Gf65536::mul_raw(c, n << (4 * shift));
+                t.w[shift][n as usize] = p;
+                t.lo[shift][n as usize] = p as u8;
+                t.hi[shift][n as usize] = (p >> 8) as u8;
+            }
+        }
+        t
+    }
+}
+
+#[inline]
+fn assert_even(len: usize) {
+    assert!(
+        len.is_multiple_of(2),
+        "GF(2^16) kernels require even-length blocks (little-endian u16 words)"
+    );
+}
+
+/// `dst ^= c·src` over little-endian `u16` words, on the active backend.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or an odd length.
+#[inline]
+pub fn mul_add_assign16(dst: &mut [u8], c: u16, src: &[u8]) {
+    mul_add_assign16_with(active_backend(), dst, c, src);
+}
+
+/// [`mul_add_assign16`] on an explicit backend (differential tests, benches).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or an odd length.
+pub fn mul_add_assign16_with(backend: Backend, dst: &mut [u8], c: u16, src: &[u8]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "mul_add_assign16 requires equal-length blocks"
+    );
+    assert_even(dst.len());
+    match c {
+        0 => {}
+        1 => add_assign(dst, src),
+        _ => {
+            if dst.len() < SMALL_SLICE_LEN16 {
+                return small_mul_add16(dst, c, src);
+            }
+            let t = Split16::new(c);
+            mul_add16_tier(backend, dst, c, &t, src);
+        }
+    }
+}
+
+/// `dst = c·dst` over little-endian `u16` words, on the active backend.
+///
+/// # Panics
+///
+/// Panics on an odd slice length.
+#[inline]
+pub fn mul_assign16(dst: &mut [u8], c: u16) {
+    mul_assign16_with(active_backend(), dst, c);
+}
+
+/// [`mul_assign16`] on an explicit backend.
+///
+/// # Panics
+///
+/// Panics on an odd slice length.
+pub fn mul_assign16_with(backend: Backend, dst: &mut [u8], c: u16) {
+    assert_even(dst.len());
+    match c {
+        0 => dst.fill(0),
+        1 => {}
+        _ => {
+            if dst.len() < SMALL_SLICE_LEN16 {
+                return small_mul16(dst, c);
+            }
+            let t = Split16::new(c);
+            match backend {
+                Backend::Scalar => scalar::mul_assign16(dst, &t),
+                Backend::Swar => swar::mul_assign16(dst, c, &t),
+                #[cfg(target_arch = "x86_64")]
+                Backend::Ssse3 => x86::mul_assign16_ssse3(dst, &t),
+                #[cfg(target_arch = "x86_64")]
+                Backend::Avx2 => x86::mul_assign16_avx2(dst, &t),
+            }
+        }
+    }
+}
+
+/// `out = c·(a ^ b)` over little-endian `u16` words — fused subtract-scale
+/// on the active backend.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or are odd.
+#[inline]
+pub fn delta_into16(out: &mut [u8], c: u16, a: &[u8], b: &[u8]) {
+    delta_into16_with(active_backend(), out, c, a, b);
+}
+
+/// [`delta_into16`] on an explicit backend.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or are odd.
+pub fn delta_into16_with(backend: Backend, out: &mut [u8], c: u16, a: &[u8], b: &[u8]) {
+    assert_eq!(a.len(), b.len(), "delta_into16 requires equal-length blocks");
+    assert_eq!(
+        out.len(),
+        a.len(),
+        "delta_into16 requires equal-length blocks"
+    );
+    assert_even(out.len());
+    match c {
+        0 => out.fill(0),
+        1 => {
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                *o = x ^ y;
+            }
+        }
+        _ => {
+            if out.len() < SMALL_SLICE_LEN16 {
+                return small_delta16(out, c, a, b);
+            }
+            let t = Split16::new(c);
+            match backend {
+                Backend::Scalar => scalar::delta_into16(out, &t, a, b),
+                Backend::Swar => swar::delta_into16(out, c, &t, a, b),
+                #[cfg(target_arch = "x86_64")]
+                Backend::Ssse3 => x86::delta_into16_ssse3(out, &t, a, b),
+                #[cfg(target_arch = "x86_64")]
+                Backend::Avx2 => x86::delta_into16_avx2(out, &t, a, b),
+            }
+        }
+    }
+}
+
+/// `dsts[j] ^= cs[j]·src` over little-endian `u16` words for all rows `j` —
+/// the fused multi-destination kernel behind wide-code encode and decode.
+///
+/// Rows are processed in batches of [`ROW_BATCH16`]: the batch's
+/// [`Split16`] tables are built once on the stack (no heap allocation),
+/// then `src` is streamed tile by tile through every row of the batch while
+/// the tile is hot in L1.
+///
+/// # Panics
+///
+/// Panics if `dsts` and `cs` lengths differ, any row length differs from
+/// `src`, or the length is odd.
+#[inline]
+pub fn mul_add_multi16(dsts: &mut [&mut [u8]], cs: &[u16], src: &[u8]) {
+    mul_add_multi16_with(active_backend(), dsts, cs, src);
+}
+
+/// Rows per table-build batch in [`mul_add_multi16`]: 8 × 256-byte
+/// [`Split16`] tables fit comfortably on the stack and in L1 next to the
+/// source tile.
+pub const ROW_BATCH16: usize = 8;
+
+/// [`mul_add_multi16`] on an explicit backend.
+///
+/// # Panics
+///
+/// Panics if `dsts` and `cs` lengths differ, any row length differs from
+/// `src`, or the length is odd.
+pub fn mul_add_multi16_with(backend: Backend, dsts: &mut [&mut [u8]], cs: &[u16], src: &[u8]) {
+    assert_eq!(
+        dsts.len(),
+        cs.len(),
+        "mul_add_multi16 requires one coefficient per destination row"
+    );
+    for d in dsts.iter() {
+        assert_eq!(
+            d.len(),
+            src.len(),
+            "mul_add_multi16 requires equal-length blocks"
+        );
+    }
+    assert_even(src.len());
+    let len = src.len();
+    for (rows, row_cs) in dsts.chunks_mut(ROW_BATCH16).zip(cs.chunks(ROW_BATCH16)) {
+        let mut tabs = [Split16::ZERO; ROW_BATCH16];
+        for (t, &c) in tabs.iter_mut().zip(row_cs) {
+            if c > 1 && len >= SMALL_SLICE_LEN16 {
+                *t = Split16::new(c);
+            }
+        }
+        let mut start = 0;
+        while start < len {
+            // MULTI_TILE is even, so tile boundaries never split a word.
+            let end = (start + MULTI_TILE).min(len);
+            let s = &src[start..end];
+            let mut j = 0;
+            while j < rows.len() {
+                let c = row_cs[j];
+                // Two consecutive general rows share one source walk: the
+                // pair kernel deinterleaves and nibble-splits each chunk
+                // once and applies both rows' tables to it (a measurable
+                // win on the shuffle tiers, where that prologue competes
+                // with the table lookups for the same execution ports).
+                if c > 1 && len >= SMALL_SLICE_LEN16 && j + 1 < rows.len() && row_cs[j + 1] > 1 {
+                    let (head, tail) = rows.split_at_mut(j + 1);
+                    mul_add16_pair_tier(
+                        backend,
+                        (&mut head[j][start..end], c, &tabs[j]),
+                        (&mut tail[0][start..end], row_cs[j + 1], &tabs[j + 1]),
+                        s,
+                    );
+                    j += 2;
+                    continue;
+                }
+                let d = &mut rows[j][start..end];
+                match c {
+                    0 => {}
+                    1 => add_assign(d, s),
+                    _ if len < SMALL_SLICE_LEN16 => small_mul_add16(d, c, s),
+                    _ => mul_add16_tier(backend, d, c, &tabs[j], s),
+                }
+                j += 1;
+            }
+            start = end;
+        }
+    }
+}
+
+/// Dispatches a `d ^= c·src` tile **pair** sharing one source walk. The
+/// shuffle tiers split each source chunk into nibble vectors once and run
+/// both rows' table lookups on them; scalar and SWAR tiers have no shared
+/// prologue worth hoisting and simply run row by row.
+fn mul_add16_pair_tier(
+    backend: Backend,
+    r0: (&mut [u8], u16, &Split16),
+    r1: (&mut [u8], u16, &Split16),
+    src: &[u8],
+) {
+    let (d0, c0, t0) = r0;
+    let (d1, c1, t1) = r1;
+    match backend {
+        Backend::Scalar => {
+            scalar::mul_add_assign16(d0, t0, src);
+            scalar::mul_add_assign16(d1, t1, src);
+        }
+        Backend::Swar => {
+            swar::mul_add_assign16(d0, c0, t0, src);
+            swar::mul_add_assign16(d1, c1, t1, src);
+        }
+        #[cfg(target_arch = "x86_64")]
+        Backend::Ssse3 => x86::mul_add_pair16_ssse3(d0, t0, d1, t1, src),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => x86::mul_add_pair16_avx2(d0, t0, d1, t1, src),
+    }
+}
+
+/// Dispatches one `dst ^= c·src` tile to the backend's 16-bit kernel with
+/// prebuilt tables (`c` itself is only needed by the SWAR shift-add loop).
+fn mul_add16_tier(backend: Backend, dst: &mut [u8], c: u16, t: &Split16, src: &[u8]) {
+    match backend {
+        Backend::Scalar => scalar::mul_add_assign16(dst, t, src),
+        Backend::Swar => swar::mul_add_assign16(dst, c, t, src),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Ssse3 => x86::mul_add_assign16_ssse3(dst, t, src),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => x86::mul_add_assign16_avx2(dst, t, src),
+    }
+}
+
+// ---- GF(2¹⁶) small-slice fast path: direct log/exp, no table build ----
+
+fn small_mul_add16(dst: &mut [u8], c: u16, src: &[u8]) {
+    for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+        let x = u16::from_le_bytes([s[0], s[1]]);
+        if x != 0 {
+            let p = Gf65536::mul_raw(c, x) ^ u16::from_le_bytes([d[0], d[1]]);
+            d.copy_from_slice(&p.to_le_bytes());
+        }
+    }
+}
+
+fn small_mul16(dst: &mut [u8], c: u16) {
+    for d in dst.chunks_exact_mut(2) {
+        let x = u16::from_le_bytes([d[0], d[1]]);
+        if x != 0 {
+            d.copy_from_slice(&Gf65536::mul_raw(c, x).to_le_bytes());
+        }
+    }
+}
+
+fn small_delta16(out: &mut [u8], c: u16, a: &[u8], b: &[u8]) {
+    for ((o, x), y) in out
+        .chunks_exact_mut(2)
+        .zip(a.chunks_exact(2))
+        .zip(b.chunks_exact(2))
+    {
+        let s = u16::from_le_bytes([x[0], x[1]]) ^ u16::from_le_bytes([y[0], y[1]]);
+        o.copy_from_slice(&Gf65536::mul_raw(c, s).to_le_bytes());
+    }
+}
+
 // ---- small-slice fast path (satellite: direct log/exp, no table row) ----
 
 #[inline]
@@ -510,6 +868,119 @@ mod tests {
         }
     }
 
+    // ---- GF(2¹⁶) family ----
+
+    /// Per-word oracle: `dst[i] ^= c·src[i]` through the log/exp tables.
+    fn oracle_mul_add16(dst: &[u8], c: u16, src: &[u8]) -> Vec<u8> {
+        dst.chunks_exact(2)
+            .zip(src.chunks_exact(2))
+            .flat_map(|(d, s)| {
+                let p = Gf65536::mul_raw(c, u16::from_le_bytes([s[0], s[1]]));
+                (p ^ u16::from_le_bytes([d[0], d[1]])).to_le_bytes()
+            })
+            .collect()
+    }
+
+    fn words16(len: usize, mul: usize, add: usize) -> Vec<u8> {
+        (0..len / 2)
+            .flat_map(|i| ((i * mul + add) as u16).to_le_bytes())
+            .collect()
+    }
+
+    const TEST_CS16: [u16; 8] = [0, 1, 2, 3, 0x100B, 0x8000, 0xABCD, 0xFFFF];
+
+    #[test]
+    fn every_backend_handles_all_even_lengths16() {
+        // Even lengths straddling every 16-bit kernel's step width (2, 32,
+        // 32, 64 bytes) and the SMALL_SLICE_LEN16 threshold.
+        let lens = [0usize, 2, 6, 14, 30, 32, 34, 62, 64, 66, 126, 128, 254, 2048];
+        for backend in available_backends() {
+            for &len in &lens {
+                let src = words16(len, 0x1357, 0x0101);
+                let dst0 = words16(len, 0x4243, 0x00FF);
+                for c in TEST_CS16 {
+                    let mut dst = dst0.clone();
+                    mul_add_assign16_with(backend, &mut dst, c, &src);
+                    assert_eq!(
+                        dst,
+                        oracle_mul_add16(&dst0, c, &src),
+                        "mul_add16 backend={} len={len} c={c:#x}",
+                        backend.name()
+                    );
+
+                    let mut d2 = dst0.clone();
+                    mul_assign16_with(backend, &mut d2, c);
+                    let want: Vec<u8> = dst0
+                        .chunks_exact(2)
+                        .flat_map(|d| {
+                            Gf65536::mul_raw(c, u16::from_le_bytes([d[0], d[1]])).to_le_bytes()
+                        })
+                        .collect();
+                    assert_eq!(d2, want, "mul16 backend={} len={len} c={c:#x}", backend.name());
+
+                    let mut out = vec![0xA5u8; len];
+                    delta_into16_with(backend, &mut out, c, &dst0, &src);
+                    let want: Vec<u8> = dst0
+                        .chunks_exact(2)
+                        .zip(src.chunks_exact(2))
+                        .flat_map(|(x, y)| {
+                            let s = u16::from_le_bytes([x[0], x[1]])
+                                ^ u16::from_le_bytes([y[0], y[1]]);
+                            Gf65536::mul_raw(c, s).to_le_bytes()
+                        })
+                        .collect();
+                    assert_eq!(
+                        out,
+                        want,
+                        "delta16 backend={} len={len} c={c:#x}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_multi16_matches_row_by_row() {
+        let len = 20_002; // several tiles plus a ragged (even) tail
+        let src = words16(len, 13, 7);
+        // More rows than ROW_BATCH16 so the batch loop runs twice.
+        let cs = [0u16, 1, 0x53AB, 0xCAFE, 2, 0x8000, 0xFFFF, 3, 0x1234, 0x100B];
+        for backend in available_backends() {
+            let mut rows: Vec<Vec<u8>> = (0..cs.len()).map(|j| words16(len, 3, j)).collect();
+            let want: Vec<Vec<u8>> = rows
+                .iter()
+                .zip(&cs)
+                .map(|(row, &c)| oracle_mul_add16(row, c, &src))
+                .collect();
+            let mut views: Vec<&mut [u8]> = rows.iter_mut().map(|r| r.as_mut_slice()).collect();
+            mul_add_multi16_with(backend, &mut views, &cs, &src);
+            assert_eq!(rows, want, "backend={}", backend.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even-length")]
+    fn mul_add_assign16_rejects_odd_length() {
+        let mut dst = vec![0u8; 7];
+        mul_add_assign16(&mut dst, 0xABCD, &[0u8; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even-length")]
+    fn mul_assign16_rejects_odd_length() {
+        let mut dst = vec![0u8; 3];
+        mul_assign16(&mut dst, 0xABCD);
+    }
+
+    #[test]
+    #[should_panic(expected = "even-length")]
+    fn mul_add_multi16_rejects_odd_length() {
+        let mut row = vec![0u8; 5];
+        let mut views: Vec<&mut [u8]> = vec![row.as_mut_slice()];
+        mul_add_multi16(&mut views, &[0xABCD], &[0u8; 5]);
+    }
+
     proptest! {
         #[test]
         fn prop_all_backends_agree_with_textbook(
@@ -522,6 +993,25 @@ mod tests {
             for backend in available_backends() {
                 let mut dst = data.clone();
                 mul_add_assign_with(backend, &mut dst, c, &src);
+                prop_assert_eq!(&dst, &want, "backend={}", backend.name());
+            }
+        }
+
+        #[test]
+        fn prop_all_backends_agree_with_gf65536_tables(
+            c in any::<u16>(),
+            words in proptest::collection::vec(any::<u16>(), 0..200),
+            seed in any::<u16>(),
+        ) {
+            let data: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+            let src: Vec<u8> = words
+                .iter()
+                .flat_map(|w| w.wrapping_add(seed).to_le_bytes())
+                .collect();
+            let want = oracle_mul_add16(&data, c, &src);
+            for backend in available_backends() {
+                let mut dst = data.clone();
+                mul_add_assign16_with(backend, &mut dst, c, &src);
                 prop_assert_eq!(&dst, &want, "backend={}", backend.name());
             }
         }

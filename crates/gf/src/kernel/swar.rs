@@ -97,6 +97,109 @@ pub(crate) fn delta_into(out: &mut [u8], c: u8, a: &[u8], b: &[u8]) {
     super::scalar::delta_into(ot, c, at, bt);
 }
 
+// ---- GF(2¹⁶): shift-and-add over u16 lanes ----
+//
+// Same structure as the byte tier, but each lane is a little-endian u16
+// word and lanewise doubling reduces by the primitive polynomial's low 16
+// bits, 0x100B. The arithmetic-shift carry trick is identical — LLVM
+// lowers the [u16; 16] loop to 64-bit (or wider) vector shift/XOR ops over
+// the lo/hi byte planes of the loaded words — so this stays the portable
+// fast floor for wide codes on targets without PSHUFB.
+
+/// `u16` lanes processed per step: 32 bytes, matching the byte tier.
+const LANES16: usize = 16;
+
+/// Lanewise `x ← 2·x` in GF(2¹⁶).
+#[inline(always)]
+fn double_words(x: &mut [u16; LANES16]) {
+    for w in x.iter_mut() {
+        // ((w as i16) >> 15) is 0x0000 or 0xFFFF per lane; reduce
+        // overflowing lanes by the primitive polynomial's low half 0x100B.
+        let carry = (((*w as i16) >> 15) as u16) & 0x100B;
+        *w = (*w << 1) ^ carry;
+    }
+}
+
+/// Lanewise `acc ^= c·x`, destroying `x`.
+#[inline(always)]
+fn mul_acc_words(acc: &mut [u16; LANES16], mut x: [u16; LANES16], c: u16) {
+    let mut cc = c;
+    while cc != 0 {
+        if cc & 1 == 1 {
+            for i in 0..LANES16 {
+                acc[i] ^= x[i];
+            }
+        }
+        cc >>= 1;
+        if cc != 0 {
+            double_words(&mut x);
+        }
+    }
+}
+
+#[inline(always)]
+fn load16(bytes: &[u8]) -> [u16; LANES16] {
+    let mut out = [0u16; LANES16];
+    for (o, ch) in out.iter_mut().zip(bytes.chunks_exact(2)) {
+        *o = u16::from_le_bytes([ch[0], ch[1]]);
+    }
+    out
+}
+
+#[inline(always)]
+fn store16(bytes: &mut [u8], w: &[u16; LANES16]) {
+    for (ch, v) in bytes.chunks_exact_mut(2).zip(w) {
+        ch.copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+const STEP16: usize = 2 * LANES16;
+
+pub(crate) fn mul_add_assign16(dst: &mut [u8], c: u16, t: &super::Split16, src: &[u8]) {
+    let mid = dst.len() - dst.len() % STEP16;
+    let (dh, dt) = dst.split_at_mut(mid);
+    let (sh, st) = src.split_at(mid);
+    for (d, s) in dh.chunks_exact_mut(STEP16).zip(sh.chunks_exact(STEP16)) {
+        let mut acc = load16(d);
+        mul_acc_words(&mut acc, load16(s), c);
+        store16(d, &acc);
+    }
+    super::scalar::mul_add_assign16(dt, t, st);
+}
+
+pub(crate) fn mul_assign16(dst: &mut [u8], c: u16, t: &super::Split16) {
+    let mid = dst.len() - dst.len() % STEP16;
+    let (dh, dt) = dst.split_at_mut(mid);
+    for d in dh.chunks_exact_mut(STEP16) {
+        let mut acc = [0u16; LANES16];
+        mul_acc_words(&mut acc, load16(d), c);
+        store16(d, &acc);
+    }
+    super::scalar::mul_assign16(dt, t);
+}
+
+pub(crate) fn delta_into16(out: &mut [u8], c: u16, t: &super::Split16, a: &[u8], b: &[u8]) {
+    let mid = out.len() - out.len() % STEP16;
+    let (oh, ot) = out.split_at_mut(mid);
+    let (ah, at) = a.split_at(mid);
+    let (bh, bt) = b.split_at(mid);
+    for ((o, x), y) in oh
+        .chunks_exact_mut(STEP16)
+        .zip(ah.chunks_exact(STEP16))
+        .zip(bh.chunks_exact(STEP16))
+    {
+        let mut s = load16(x);
+        let yl = load16(y);
+        for i in 0..LANES16 {
+            s[i] ^= yl[i];
+        }
+        let mut acc = [0u16; LANES16];
+        mul_acc_words(&mut acc, s, c);
+        store16(o, &acc);
+    }
+    super::scalar::delta_into16(ot, t, at, bt);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +232,40 @@ mod tests {
                 mul_acc_bytes(&mut acc, lanes, c);
                 for i in 0..LANES {
                     assert_eq!(acc[i], textbook::mul(c, lanes[i]), "c={c:#x} lane {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lanewise_double16_matches_field_double() {
+        use crate::Gf65536;
+        for x in [0u16, 1, 0x7FFF, 0x8000, 0x8001, 0xABCD, 0xFFFF] {
+            let mut lanes = [0u16; LANES16];
+            for (i, l) in lanes.iter_mut().enumerate() {
+                *l = x.wrapping_add((i as u16).wrapping_mul(0x1357));
+            }
+            let orig = lanes;
+            double_words(&mut lanes);
+            for i in 0..LANES16 {
+                assert_eq!(lanes[i], Gf65536::mul_raw(2, orig[i]), "lane {i} of {x:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn lanewise_mul16_matches_field_mul() {
+        use crate::Gf65536;
+        for c in [0u16, 1, 2, 3, 0x100B, 0x8000, 0xFFFF] {
+            for x in [0u16, 1, 0x00FF, 0x0F0F, 0x8000, 0xBEEF, 0xFFFF] {
+                let mut lanes = [0u16; LANES16];
+                for (i, l) in lanes.iter_mut().enumerate() {
+                    *l = x.wrapping_add((i as u16).wrapping_mul(0x2489));
+                }
+                let mut acc = [0u16; LANES16];
+                mul_acc_words(&mut acc, lanes, c);
+                for i in 0..LANES16 {
+                    assert_eq!(acc[i], Gf65536::mul_raw(c, lanes[i]), "c={c:#x} lane {i}");
                 }
             }
         }

@@ -7,9 +7,10 @@
 //! once per backend with the `GF_BACKEND` override set, so the dispatched
 //! paths here are exercised on every tier, not just the widest one.
 
-use ajx_erasure::ReedSolomon;
-use ajx_gf::{kernel, slice, textbook};
+use ajx_erasure::{CodeError, PlanCache, ReedSolomon, WideReedSolomon};
+use ajx_gf::{kernel, slice, textbook, Gf65536};
 use proptest::prelude::*;
+use std::sync::OnceLock;
 
 /// When `GF_BACKEND` is set (as the kernel-matrix script does), dispatch
 /// must resolve to exactly that backend; otherwise to some supported one.
@@ -149,4 +150,179 @@ proptest! {
         }
         prop_assert_eq!(&out, &data);
     }
+
+    /// All backends' GF(2¹⁶) kernels equal the log/exp-table field on
+    /// random (word count, c, data) — the 16-bit twin of
+    /// `backends_match_textbook_oracle`, with word counts straddling the
+    /// small-slice threshold, every SIMD step width, and ragged tails.
+    #[test]
+    fn backends_match_gf65536_oracle16(
+        words in 0usize..200,
+        c in proptest::arbitrary::any::<u16>(),
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let len = 2 * words;
+        let src: Vec<u8> = (0..len).map(|i| (seed >> (i % 57)) as u8 ^ (i as u8)).collect();
+        let dst0: Vec<u8> = (0..len).map(|i| (seed >> (i % 31)) as u8).collect();
+
+        let expect = oracle_mul_add16(&dst0, c, &src);
+
+        for backend in kernel::available_backends() {
+            let mut dst = dst0.clone();
+            kernel::mul_add_assign16_with(backend, &mut dst, c, &src);
+            prop_assert_eq!(&dst, &expect, "mul_add16 mismatch on {}", backend.name());
+
+            let mut scaled = src.clone();
+            kernel::mul_assign16_with(backend, &mut scaled, c);
+            let expect_scaled = oracle_mul_add16(&vec![0u8; len], c, &src);
+            prop_assert_eq!(&scaled, &expect_scaled, "mul16 mismatch on {}", backend.name());
+
+            let mut delta = vec![0u8; len];
+            kernel::delta_into16_with(backend, &mut delta, c, &src, &dst0);
+            let diff: Vec<u8> = src.iter().zip(&dst0).map(|(&a, &b)| a ^ b).collect();
+            let expect_delta = oracle_mul_add16(&vec![0u8; len], c, &diff);
+            prop_assert_eq!(&delta, &expect_delta, "delta16 mismatch on {}", backend.name());
+        }
+    }
+
+    /// The fused multi-destination GF(2¹⁶) kernel equals p independent row
+    /// updates on every backend, including row counts past one table batch.
+    #[test]
+    fn fused_multi16_matches_row_by_row(
+        words in 1usize..1000,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let len = 2 * words;
+        let src: Vec<u8> = (0..len).map(|i| (seed >> (i % 43)) as u8 ^ (i as u8)).collect();
+        let cs = [0x0001u16, 0x53AB, 0x0000, 0xFFFF, 0x0002, 0x8000, 0x100B, 0xCAFE, 0x1234];
+        let rows0: Vec<Vec<u8>> = (0..cs.len())
+            .map(|j| (0..len).map(|i| (seed >> ((i + j) % 29)) as u8).collect())
+            .collect();
+
+        let expect: Vec<Vec<u8>> = rows0
+            .iter()
+            .zip(&cs)
+            .map(|(row, &c)| oracle_mul_add16(row, c, &src))
+            .collect();
+
+        for backend in kernel::available_backends() {
+            let mut rows = rows0.clone();
+            let mut dsts: Vec<&mut [u8]> =
+                rows.iter_mut().map(|r| r.as_mut_slice()).collect();
+            kernel::mul_add_multi16_with(backend, &mut dsts, &cs, &src);
+            prop_assert_eq!(&rows, &expect, "multi16 mismatch on {}", backend.name());
+        }
+    }
+
+    /// Wide-code round trip at n > 256 through the allocation-free paths,
+    /// under whatever backend GF_BACKEND selected: encode_into must equal
+    /// encode_stripe's redundancy, and decoding a random erasure pattern
+    /// through the memoized plan cache must reproduce the data.
+    #[test]
+    fn wide_roundtrip_beyond_gf256_under_active_backend(
+        words in 1usize..40,
+        drop in 0usize..8,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let (wide, cache) = wide_code_and_cache();
+        let (k, n) = (wide.k(), wide.n());
+        let len = 2 * words;
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..len).map(|b| (seed >> ((b + i) % 51)) as u8).collect())
+            .collect();
+        let stripe = wide.encode_stripe(&data).unwrap();
+
+        // encode_into agrees with encode_stripe's redundant tail.
+        let mut red = vec![vec![0u8; len]; wide.p()];
+        {
+            let mut views: Vec<&mut [u8]> = red.iter_mut().map(|b| b.as_mut_slice()).collect();
+            wide.encode_into(&data, &mut views).unwrap();
+        }
+        prop_assert_eq!(&red[..], &stripe[k..]);
+
+        // Drop p blocks (a rotating pattern), decode via the cached plan.
+        let dropped: Vec<usize> = (0..wide.p()).map(|j| (drop + 67 * j) % n).collect();
+        let indices: Vec<usize> = (0..n).filter(|i| !dropped.contains(i)).take(k).collect();
+        let plan = cache.plan_wide(wide, &indices).unwrap();
+        let shares: Vec<&[u8]> = indices.iter().map(|&i| &stripe[i][..]).collect();
+        let mut out: Vec<Vec<u8>> = vec![vec![0u8; len]; k];
+        {
+            let mut outs: Vec<&mut [u8]> = out.iter_mut().map(|o| o.as_mut_slice()).collect();
+            plan.decode_into(&shares, &mut outs).unwrap();
+        }
+        prop_assert_eq!(&out, &data);
+    }
+}
+
+/// `dst[w] ^ c·src[w]` per little-endian u16 word, via the log/exp field.
+fn oracle_mul_add16(dst: &[u8], c: u16, src: &[u8]) -> Vec<u8> {
+    dst.chunks_exact(2)
+        .zip(src.chunks_exact(2))
+        .flat_map(|(d, s)| {
+            let p = Gf65536::mul_raw(c, u16::from_le_bytes([s[0], s[1]]));
+            (p ^ u16::from_le_bytes([d[0], d[1]])).to_le_bytes()
+        })
+        .collect()
+}
+
+/// One shared n > 256 wide code plus plan cache: construction inverts a
+/// k×k GF(2¹⁶) system, so build it once for every proptest case, and let
+/// the cache dedupe the handful of erasure patterns the cases cycle
+/// through.
+fn wide_code_and_cache() -> (&'static WideReedSolomon, &'static PlanCache) {
+    static CODE: OnceLock<(WideReedSolomon, PlanCache)> = OnceLock::new();
+    let (code, cache) = CODE.get_or_init(|| {
+        (WideReedSolomon::new(258, 262).unwrap(), PlanCache::new())
+    });
+    (code, cache)
+}
+
+/// Regression (ISSUE 10 satellite): odd-length blocks must surface as the
+/// typed `OddBlockLength` error from every wide-code entry point, not as a
+/// generic mismatch and not as a kernel panic.
+#[test]
+fn wide_code_rejects_odd_block_lengths_with_typed_error() {
+    let rs = WideReedSolomon::new(2, 4).unwrap();
+    let odd = vec![0u8; 9];
+    assert!(matches!(
+        rs.encode(&[odd.clone(), odd.clone()]),
+        Err(CodeError::OddBlockLength { len: 9 })
+    ));
+    assert!(matches!(
+        rs.decode(&[(0, &odd[..]), (1, &odd[..])]),
+        Err(CodeError::OddBlockLength { len: 9 })
+    ));
+    assert!(matches!(
+        rs.delta(0, 0, &odd, &odd),
+        Err(CodeError::OddBlockLength { len: 9 })
+    ));
+    // Even lengths sail through the same entry points.
+    let even = vec![0u8; 10];
+    assert!(rs.encode(&[even.clone(), even.clone()]).is_ok());
+}
+
+/// A cached wide plan and a freshly inverted one decode identically at
+/// n > 256 (the cache must be a pure memo, never a semantic change).
+#[test]
+fn wide_cached_plan_equals_fresh_beyond_gf256() {
+    let (wide, cache) = wide_code_and_cache();
+    let (k, n) = (wide.k(), wide.n());
+    let len = 16;
+    let data: Vec<Vec<u8>> = (0..k).map(|i| vec![(i % 251) as u8 + 1; len]).collect();
+    let stripe = wide.encode_stripe(&data).unwrap();
+    // Drop the first p blocks; decode from the rest.
+    let indices: Vec<usize> = (wide.p()..n).take(k).collect();
+    let cached = cache.plan_wide(wide, &indices).unwrap();
+    let again = cache.plan_wide(wide, &indices).unwrap();
+    assert!(std::sync::Arc::ptr_eq(&cached, &again), "memoized");
+    let fresh = wide.plan_decode(&indices).unwrap();
+    let shares: Vec<&[u8]> = indices.iter().map(|&i| &stripe[i][..]).collect();
+    let mut a = vec![vec![0u8; len]; k];
+    let mut b = vec![vec![0u8; len]; k];
+    let mut va: Vec<&mut [u8]> = a.iter_mut().map(|x| x.as_mut_slice()).collect();
+    let mut vb: Vec<&mut [u8]> = b.iter_mut().map(|x| x.as_mut_slice()).collect();
+    cached.decode_into(&shares, &mut va).unwrap();
+    fresh.decode_into(&shares, &mut vb).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a, data);
 }

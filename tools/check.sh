@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Repo check entry point: release build, lint wall, full workspace test
 # suite, a seeded chaos smoke run, the seeded power-loss smoke (three
-# seeds, both flush policies, byte-identical traces), the GF(2^8) kernel
-# backend matrix (per-backend test runs + BENCH_kernels.json), the
+# seeds, both flush policies, byte-identical traces), the GF(2^8) +
+# GF(2^16) kernel backend matrix (per-backend test runs +
+# BENCH_kernels.json, re-asserting the wide-kernel AVX2 floor), the
 # batched data-path throughput smoke, the degraded-read/rebuild smoke
 # (asserts the >=4x rebuild speedup and zero-lock degraded reads
 # internally), the many-client scale-out smoke (asserts 1k-client IOPS
@@ -52,6 +53,21 @@ cargo test -p ajx-cluster --release -q \
   three_seeds_reproduce_byte_identically_under_both_policies
 
 tools/kernel_matrix.sh --quick
+
+echo "== GF(2^16) AVX2 kernel floor (from BENCH_kernels.json) =="
+# The kernel_matrix binary asserts this in-process while writing the
+# artifact; the grep re-asserts it from the JSON so a stale or
+# hand-edited artifact can't pass. Hosts without AVX2 record an explicit
+# skip marker instead.
+if ./target/release/kernel_matrix --list | grep -q '^avx2$'; then
+  grep -q '"avx2_floor_pass":true' BENCH_kernels.json \
+    || { echo "GF(2^16) floor violated (AVX2 mul_add_assign16 < 4x scalar split-table at 4 KiB)"; exit 1; }
+  echo "GF(2^16) kernel floor holds (AVX2 >= 4x scalar split-table at 4 KiB)"
+else
+  grep -q '"avx2_floor_skipped"' BENCH_kernels.json \
+    || { echo "BENCH_kernels.json missing the avx2 floor verdict"; exit 1; }
+  echo "no AVX2 on this host; floor skip recorded in the artifact"
+fi
 
 echo "== batched data path (ext_seq_throughput --smoke) =="
 cargo run --release -p ajx-bench --bin ext_seq_throughput -- --smoke \

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Kernel backend matrix: run the gf + erasure test suites once per GF(2^8)
-# kernel tier this CPU supports (selected via the GF_BACKEND override), smoke
-# the kernel criterion bench, and write per-backend throughput numbers to
-# BENCH_kernels.json at the repo root.
+# Kernel backend matrix: run the gf + erasure test suites once per kernel
+# tier this CPU supports (selected via the GF_BACKEND override, covering
+# both the GF(2^8) and GF(2^16) kernel families), smoke the byte- and
+# wide-field criterion benches, and write per-backend throughput numbers
+# for both fields to BENCH_kernels.json at the repo root. The kernel_matrix
+# binary asserts the GF(2^16) acceptance floor (AVX2 >= 4x the scalar
+# split-table tier at 4 KiB) while producing the artifact; tools/check.sh
+# re-asserts it from the committed JSON.
 #
 # Usage: tools/kernel_matrix.sh [--quick]
 #   --quick   cap property-test cases and bench iterations for a fast pass
@@ -34,9 +38,11 @@ for b in $backends; do
     GF_BACKEND="$b" cargo test -q -p repro-tests --test kernel_backends
 done
 
-echo "== criterion smoke: ec_kernels =="
+echo "== criterion smoke: ec_kernels (gf256 + gf65536) =="
 CRITERION_ITERS="${CRITERION_ITERS:-50}" \
     cargo bench -p ajx-bench --bench ec_kernels -- gf256_mul_add
+CRITERION_ITERS="${CRITERION_ITERS:-50}" \
+    cargo bench -p ajx-bench --bench ec_kernels -- gf65536_mul_add
 
 echo "== writing BENCH_kernels.json =="
 ./target/release/kernel_matrix > BENCH_kernels.json
